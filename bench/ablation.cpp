@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Ablations of the design choices DESIGN.md calls out:
+ *
+ *  1. UC1 local-scheduler switch threshold (wasteful vs missed
+ *     switches, paper section 4.1);
+ *  2. UC1 extra off-chip block budget (the paper fixes 4);
+ *  3. UC2 GPU handler latency (the paper measures 20 us);
+ *  4. the memory-pipeline front-end depth behind the "last TLB check"
+ *     (drives the wd-lastcheck / replay-queue costs);
+ *  5. GPU-allocator serialization in the UC2 handler (the paper's
+ *     lock-free design vs a serialized allocator).
+ */
+
+#include "bench_util.hpp"
+
+using namespace gex;
+
+int
+main()
+{
+    // --- 1 & 2: UC1 scheduler knobs on an oversubscribed workload ---
+    {
+        bench::TracedWorkload tw = bench::buildTraced("sgemm", 3);
+        gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+        cfg.scheme = gpu::Scheme::ReplayQueue;
+        double base = static_cast<double>(
+            bench::runConfig(tw, cfg, vm::VmPolicy::demandPaging())
+                .cycles);
+
+        std::printf("=== UC1 ablation: switch queue-depth threshold "
+                    "(sgemm, NVLink) ===\n");
+        std::printf("%10s %12s %12s\n", "threshold", "speedup",
+                    "switch-outs");
+        for (int th : {0, 1, 2, 4, 8, 32}) {
+            gpu::GpuConfig c = cfg;
+            c.blockSwitching = true;
+            c.switchQueueThreshold = th;
+            auto r = bench::runConfig(tw, c, vm::VmPolicy::demandPaging());
+            std::printf("%10d %12.3f %12.0f\n", th,
+                        base / static_cast<double>(r.cycles),
+                        r.stats.get("sm.switch_outs"));
+            std::fflush(stdout);
+        }
+
+        std::printf("\n=== UC1 ablation: extra off-chip block budget "
+                    "===\n");
+        std::printf("%10s %12s %12s\n", "budget", "speedup",
+                    "switch-outs");
+        for (int extra : {0, 1, 2, 4, 8}) {
+            gpu::GpuConfig c = cfg;
+            c.blockSwitching = true;
+            c.maxExtraBlocks = extra;
+            auto r = bench::runConfig(tw, c, vm::VmPolicy::demandPaging());
+            std::printf("%10d %12.3f %12.0f\n", extra,
+                        base / static_cast<double>(r.cycles),
+                        r.stats.get("sm.switch_outs"));
+            std::fflush(stdout);
+        }
+    }
+
+    // --- 3 & 5: UC2 handler latency and allocator serialization -----
+    {
+        bench::TracedWorkload tw = bench::buildTraced("ha-prob");
+        gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+        cfg.scheme = gpu::Scheme::ReplayQueue;
+        double cpu = static_cast<double>(
+            bench::runConfig(tw, cfg, vm::VmPolicy::heapFaults(false))
+                .cycles);
+
+        std::printf("\n=== UC2 ablation: GPU handler latency (ha-prob, "
+                    "speedup over CPU handling) ===\n");
+        std::printf("%12s %12s\n", "handler us", "speedup");
+        for (Cycle us : {5, 10, 20, 40, 80}) {
+            gpu::GpuConfig c = cfg;
+            c.gpuHandler.handlerCycles = us * 1000;
+            auto r = bench::runConfig(tw, c, vm::VmPolicy::heapFaults(true));
+            std::printf("%12llu %12.3f\n",
+                        static_cast<unsigned long long>(us),
+                        cpu / static_cast<double>(r.cycles));
+            std::fflush(stdout);
+        }
+
+        std::printf("\n=== UC2 ablation: allocator serialization "
+                    "(paper: lock-free => 0) ===\n");
+        std::printf("%14s %12s\n", "serial cycles", "speedup");
+        for (Cycle ser : {0, 500, 2000, 8000}) {
+            gpu::GpuConfig c = cfg;
+            c.gpuHandler.allocatorSerialCycles = ser;
+            auto r = bench::runConfig(tw, c, vm::VmPolicy::heapFaults(true));
+            std::printf("%14llu %12.3f\n",
+                        static_cast<unsigned long long>(ser),
+                        cpu / static_cast<double>(r.cycles));
+            std::fflush(stdout);
+        }
+    }
+
+    // --- 4: memory front-end depth vs scheme costs ------------------
+    {
+        bench::TracedWorkload tw = bench::buildTraced("lbm");
+        std::printf("\n=== Pipeline ablation: memory front-end depth "
+                    "(lbm, relative to stall-on-fault) ===\n");
+        std::printf("%10s %12s %12s\n", "frontend", "wd-lastchk",
+                    "replay-q");
+        for (Cycle fe : {4, 8, 16, 32, 64}) {
+            gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+            cfg.sm.memFrontendCycles = fe;
+            double base =
+                static_cast<double>(bench::runConfig(tw, cfg).cycles);
+            cfg.scheme = gpu::Scheme::WarpDisableLastCheck;
+            double wdl =
+                static_cast<double>(bench::runConfig(tw, cfg).cycles);
+            cfg.scheme = gpu::Scheme::ReplayQueue;
+            double rq =
+                static_cast<double>(bench::runConfig(tw, cfg).cycles);
+            std::printf("%10llu %12.3f %12.3f\n",
+                        static_cast<unsigned long long>(fe), base / wdl,
+                        base / rq);
+            std::fflush(stdout);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: build a
+ * workload, trace it once, run it under multiple configurations and
+ * print paper-style rows.
+ */
+
+#ifndef GEX_BENCH_BENCH_UTIL_HPP
+#define GEX_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gex.hpp"
+
+namespace gex::bench {
+
+/** A workload plus its one-time functional trace. */
+struct TracedWorkload {
+    std::string name;
+    std::unique_ptr<func::GlobalMemory> mem;
+    func::Kernel kernel;
+    trace::KernelTrace trace;
+};
+
+inline TracedWorkload
+buildTraced(const std::string &name, int scale = 1)
+{
+    TracedWorkload tw;
+    tw.name = name;
+    tw.mem = std::make_unique<func::GlobalMemory>();
+    auto w = workloads::make(name, *tw.mem, scale);
+    tw.kernel = std::move(w.kernel);
+    func::FunctionalSim fsim(*tw.mem);
+    tw.trace = fsim.run(tw.kernel);
+    return tw;
+}
+
+inline gpu::SimResult
+runConfig(const TracedWorkload &tw, const gpu::GpuConfig &cfg,
+          const vm::VmPolicy &policy = vm::VmPolicy::allResident())
+{
+    gpu::Gpu g(cfg);
+    return g.run(tw.kernel, tw.trace, policy);
+}
+
+/** Print a header row: name column plus the given series labels. */
+inline void
+printHeader(const std::vector<std::string> &series)
+{
+    std::printf("%-14s", "benchmark");
+    for (const auto &s : series)
+        std::printf(" %10s", s.c_str());
+    std::printf("\n");
+}
+
+inline void
+printRow(const std::string &name, const std::vector<double> &values,
+         const char *fmt = " %10.3f")
+{
+    std::printf("%-14s", name.c_str());
+    for (double v : values)
+        std::printf(fmt, v);
+    std::printf("\n");
+    std::fflush(stdout);
+}
+
+/** Print the geometric-mean row over per-series value columns. */
+inline void
+printGeomean(const std::vector<std::vector<double>> &columns)
+{
+    std::printf("%-14s", "GEOMEAN");
+    for (const auto &col : columns)
+        std::printf(" %10.3f", geomean(col));
+    std::printf("\n");
+}
+
+} // namespace gex::bench
+
+#endif // GEX_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 10 reproduction: performance of the warp-disable (both
+ * variants) and replay-queue pipelines with preemptible-fault support,
+ * normalized to the baseline stall-on-fault SM, on fault-free runs of
+ * the Parboil-like suite (higher is better).
+ *
+ * Paper reference points: geomean wd-commit ~0.84, wd-lastcheck ~0.90,
+ * replay-queue ~0.94; lbm is the worst case.
+ */
+
+#include "bench_util.hpp"
+
+using namespace gex;
+
+int
+main()
+{
+    std::printf("=== Figure 10: preemptible-fault pipelines, normalized "
+                "to baseline (fault-free) ===\n");
+    bench::printHeader({"baseline", "wd-commit", "wd-lastchk", "replay-q"});
+
+    std::vector<std::vector<double>> cols(3);
+    for (const auto &name : workloads::parboilSuite()) {
+        bench::TracedWorkload tw = bench::buildTraced(name);
+        gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+        double base =
+            static_cast<double>(bench::runConfig(tw, cfg).cycles);
+        std::vector<double> row = {base};
+        gpu::Scheme schemes[] = {gpu::Scheme::WarpDisableCommit,
+                                 gpu::Scheme::WarpDisableLastCheck,
+                                 gpu::Scheme::ReplayQueue};
+        for (int i = 0; i < 3; ++i) {
+            cfg.scheme = schemes[i];
+            double c =
+                static_cast<double>(bench::runConfig(tw, cfg).cycles);
+            row.push_back(base / c);
+            cols[static_cast<size_t>(i)].push_back(base / c);
+        }
+        std::printf("%-14s %10.0f %10.3f %10.3f %10.3f\n", name.c_str(),
+                    row[0], row[1], row[2], row[3]);
+        std::fflush(stdout);
+    }
+    std::printf("%-14s %10s %10.3f %10.3f %10.3f\n", "GEOMEAN", "",
+                geomean(cols[0]), geomean(cols[1]), geomean(cols[2]));
+    std::printf("\npaper: geomean wd-commit 0.84 / wd-lastcheck 0.90 / "
+                "replay-queue 0.94; lbm worst case\n");
+    return 0;
+}

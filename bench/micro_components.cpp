@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator substrates: how
+ * fast the building blocks themselves run (host-side performance of
+ * the simulator, not simulated GPU performance).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "func/functional_sim.hpp"
+#include "gpu/gpu.hpp"
+#include "kasm/builder.hpp"
+#include "kasm/parser.hpp"
+#include "mem/cache.hpp"
+#include "sm/coalescer.hpp"
+#include "vm/tlb.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace gex;
+
+static void
+BM_CacheLoadHit(benchmark::State &state)
+{
+    mem::Cache c(mem::CacheConfig{"c", 32 * 1024, 4, 40, 32, 1});
+    auto fetch = [](Addr, Cycle t) { return t + 300; };
+    c.load(0, 0, fetch);
+    Cycle now = 1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.load(0, now, fetch));
+        now += 2;
+    }
+}
+BENCHMARK(BM_CacheLoadHit);
+
+static void
+BM_CacheLoadMissStream(benchmark::State &state)
+{
+    mem::Cache c(mem::CacheConfig{"c", 32 * 1024, 4, 40, 32, 1});
+    auto fetch = [](Addr, Cycle t) { return t + 300; };
+    Cycle now = 0;
+    Addr line = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.load(line, now, fetch));
+        line += kLineSize;
+        now += 2;
+    }
+}
+BENCHMARK(BM_CacheLoadMissStream);
+
+static void
+BM_TlbTranslateHit(benchmark::State &state)
+{
+    vm::Tlb tlb(vm::TlbConfig{"t", 32, 8, 1, 32});
+    auto lower = [](Addr, Cycle t) {
+        vm::Translation tr;
+        tr.ready = t + 70;
+        return tr;
+    };
+    tlb.translate(1, 0, lower);
+    Cycle now = 1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.translate(1, now, lower));
+        now += 2;
+    }
+}
+BENCHMARK(BM_TlbTranslateHit);
+
+static void
+BM_Coalesce(benchmark::State &state)
+{
+    std::vector<Addr> addrs;
+    Rng rng(1);
+    for (int i = 0; i < 32; ++i)
+        addrs.push_back(rng.below(1 << 20));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sm::coalesce(addrs));
+}
+BENCHMARK(BM_Coalesce);
+
+static void
+BM_Assemble(benchmark::State &state)
+{
+    const char *src = R"(
+.kernel k
+.params 1
+    s2r r0, %gtid
+    ldparam r1, param[0]
+    shl r2, r0, 3
+    iadd r2, r2, r1
+    ld.global r3, [r2]
+    iadd r3, r3, 1
+    st.global [r2], r3
+    exit
+)";
+    for (auto _ : state)
+        benchmark::DoNotOptimize(kasm::assemble(src));
+}
+BENCHMARK(BM_Assemble);
+
+static void
+BM_FunctionalSimThroughput(benchmark::State &state)
+{
+    // Warp instructions per second through the functional simulator.
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        func::GlobalMemory mem;
+        auto w = workloads::make("sad", mem, 1);
+        func::FunctionalSim fsim(mem);
+        state.ResumeTiming();
+        trace::KernelTrace tr = fsim.run(w.kernel);
+        insts += tr.dynamicInsts();
+    }
+    state.counters["warp_insts/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalSimThroughput)->Unit(benchmark::kMillisecond);
+
+static void
+BM_TimingSimThroughput(benchmark::State &state)
+{
+    func::GlobalMemory mem;
+    auto w = workloads::make("sad", mem, 1);
+    func::FunctionalSim fsim(mem);
+    trace::KernelTrace tr = fsim.run(w.kernel);
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        gpu::Gpu g(gpu::GpuConfig::baseline());
+        auto r = g.run(w.kernel, tr);
+        insts += r.instructions;
+    }
+    state.counters["warp_insts/s"] = benchmark::Counter(
+        static_cast<double>(insts), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TimingSimThroughput)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

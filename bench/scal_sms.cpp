@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Scalability study (paper section 5.5): how the scheme costs and the
+ * two use cases move with the number of SMs (8/16/32). The paper's
+ * observations: scheme gaps widen when occupancy drops relative to the
+ * machine; more SMs means more concurrent faults, which hurts
+ * CPU-handled paging and helps GPU-local handling.
+ */
+
+#include "bench_util.hpp"
+
+using namespace gex;
+
+int
+main()
+{
+    const int sms[] = {8, 16, 32};
+    const std::vector<std::string> picks = {"lbm", "sgemm", "histo"};
+
+    std::printf("=== Scalability: scheme cost vs number of SMs "
+                "(fault-free, baseline/replay-queue) ===\n");
+    std::printf("%-14s %8s %12s %12s\n", "benchmark", "SMs", "base cyc",
+                "rq rel");
+    for (const auto &name : picks) {
+        bench::TracedWorkload tw = bench::buildTraced(name);
+        for (int n : sms) {
+            gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+            cfg.numSms = n;
+            double base =
+                static_cast<double>(bench::runConfig(tw, cfg).cycles);
+            cfg.scheme = gpu::Scheme::ReplayQueue;
+            double rq =
+                static_cast<double>(bench::runConfig(tw, cfg).cycles);
+            std::printf("%-14s %8d %12.0f %12.3f\n", name.c_str(), n,
+                        base, base / rq);
+            std::fflush(stdout);
+        }
+    }
+
+    std::printf("\n=== Scalability: UC2 local handling speedup vs "
+                "number of SMs (device-malloc faults, weak scaling) "
+                "===\n");
+    std::printf("%-14s %8s %12s\n", "benchmark", "SMs", "speedup");
+    for (const auto &name : {std::string("ha-prob"),
+                             std::string("quad-tree")}) {
+        for (int n : sms) {
+            // Weak scaling: constant per-SM work, so the aggregate
+            // fault rate grows with the machine (the paper's point:
+            // more SMs -> more concurrent faults -> more CPU/link
+            // contention for the baseline to suffer).
+            bench::TracedWorkload tw =
+                bench::buildTraced(name, std::max(1, n / 8));
+            gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+            cfg.numSms = n;
+            cfg.scheme = gpu::Scheme::ReplayQueue;
+            double cpu = static_cast<double>(
+                bench::runConfig(tw, cfg, vm::VmPolicy::heapFaults(false))
+                    .cycles);
+            double gpu = static_cast<double>(
+                bench::runConfig(tw, cfg, vm::VmPolicy::heapFaults(true))
+                    .cycles);
+            std::printf("%-14s %8d %12.3f\n", name.c_str(), n, cpu / gpu);
+            std::fflush(stdout);
+        }
+    }
+    std::printf("\npaper section 5.5: local-handling benefit grows with "
+                "SM count (more concurrent faults).\n");
+    return 0;
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Table 1 reproduction: the simulation parameters of the baseline GPU
+ * (NVIDIA Kepler K20-class, 16 SMs).
+ */
+
+#include <cstdio>
+
+#include "gex.hpp"
+
+int
+main()
+{
+    std::printf("=== Table 1: simulation parameters ===\n%s",
+                gex::gpu::GpuConfig::baseline().describe().c_str());
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal leveled logging plus fatal/panic helpers in the gem5 spirit:
+ * panic() for simulator bugs, fatal() for user/configuration errors.
+ */
+
+#ifndef GEX_COMMON_LOG_HPP
+#define GEX_COMMON_LOG_HPP
+
+#include <cstdarg>
+#include <string>
+
+namespace gex {
+
+enum class LogLevel { Quiet = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Global log level; defaults to Warn so library use is silent-ish. */
+LogLevel logLevel();
+void setLogLevel(LogLevel lvl);
+
+/** printf-style log at the given level; a newline is appended. */
+void logf(LogLevel lvl, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/**
+ * Abort with a message: the simulator itself is broken (invariant
+ * violation). Never returns.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Exit with a message: the user asked for something unsupported or
+ * inconsistent (bad configuration, malformed kernel). Never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** printf into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Assertion failure backend for GEX_ASSERT. Never returns. */
+[[noreturn]] void panicAssert(const char *cond, const char *file, int line,
+                              const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+#define GEX_ASSERT(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond))                                                       \
+            ::gex::panicAssert(#cond, __FILE__, __LINE__, "" __VA_ARGS__); \
+    } while (0)
+
+} // namespace gex
+
+#endif // GEX_COMMON_LOG_HPP

@@ -1,0 +1,43 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace gex {
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &kv : other.scalars_)
+        scalars_[kv.first] += kv.second;
+}
+
+void
+StatSet::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (const auto &kv : scalars_)
+        os << prefix << kv.first << " = " << kv.second << "\n";
+}
+
+void
+StatSet::dumpCsv(std::ostream &os) const
+{
+    os << "stat,value\n";
+    for (const auto &kv : scalars_)
+        os << kv.first << "," << kv.second << "\n";
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    GEX_ASSERT(!xs.empty());
+    double acc = 0.0;
+    for (double x : xs) {
+        GEX_ASSERT(x > 0.0, "geomean needs positive values");
+        acc += std::log(x);
+    }
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+} // namespace gex

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Lightweight named statistics: scalar counters, ratios and histograms
+ * grouped into a StatSet that can be dumped as text or queried by name.
+ */
+
+#ifndef GEX_COMMON_STATS_HPP
+#define GEX_COMMON_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gex {
+
+/**
+ * A group of named scalar statistics. Components register counters by
+ * name; harnesses read them back after simulation.
+ */
+class StatSet
+{
+  public:
+    /** Add @p delta to the counter called @p name (created on demand). */
+    void
+    add(const std::string &name, double delta = 1.0)
+    {
+        scalars_[name] += delta;
+    }
+
+    /** Overwrite the counter called @p name. */
+    void
+    set(const std::string &name, double value)
+    {
+        scalars_[name] = value;
+    }
+
+    /** Track the maximum seen for @p name. */
+    void
+    maxOf(const std::string &name, double value)
+    {
+        auto it = scalars_.find(name);
+        if (it == scalars_.end() || it->second < value)
+            scalars_[name] = value;
+    }
+
+    /** Value of the counter, or 0 if it was never touched. */
+    double
+    get(const std::string &name) const
+    {
+        auto it = scalars_.find(name);
+        return it == scalars_.end() ? 0.0 : it->second;
+    }
+
+    bool
+    has(const std::string &name) const
+    {
+        return scalars_.count(name) != 0;
+    }
+
+    /** Merge another StatSet into this one (summing shared names). */
+    void merge(const StatSet &other);
+
+    /** All entries, sorted by name. */
+    const std::map<std::string, double> &scalars() const { return scalars_; }
+
+    void clear() { scalars_.clear(); }
+
+    /** Human-readable dump, one "name = value" per line. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Machine-readable dump: "name,value" rows with a header line,
+     * suitable for spreadsheet/pandas ingestion of sweep results.
+     */
+    void dumpCsv(std::ostream &os) const;
+
+  private:
+    std::map<std::string, double> scalars_;
+};
+
+/** Geometric mean of a vector of strictly positive values. */
+double geomean(const std::vector<double> &xs);
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * Deterministic xorshift64* PRNG so simulations are reproducible across
+ * platforms and standard library versions.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace gex
+
+#endif // GEX_COMMON_STATS_HPP

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fundamental type aliases and constants shared by every gex module.
+ */
+
+#ifndef GEX_COMMON_TYPES_HPP
+#define GEX_COMMON_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace gex {
+
+/** Simulated clock cycle count (1 GHz SM domain throughout). */
+using Cycle = std::uint64_t;
+
+/** Virtual (and, in this simulator, physical) byte address. */
+using Addr = std::uint64_t;
+
+/** Per-warp lane activity mask; bit i set means lane i is active. */
+using WarpMask = std::uint32_t;
+
+/** Number of SIMT lanes in a warp. */
+inline constexpr int kWarpSize = 32;
+
+/** Mask with every lane active. */
+inline constexpr WarpMask kFullMask = 0xffffffffu;
+
+/** Sentinel for "no cycle" / "not scheduled". */
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for invalid addresses. */
+inline constexpr Addr kBadAddr = std::numeric_limits<Addr>::max();
+
+/** Page size in bytes (paper: 4 KB GPU pages). */
+inline constexpr Addr kPageSize = 4096;
+
+/** Fault handling / migration granularity (paper: 64 KB). */
+inline constexpr Addr kDefaultMigrationBytes = 64 * 1024;
+
+/** Cache line size in bytes (paper Table 1: 128 B lines). */
+inline constexpr Addr kLineSize = 128;
+
+/** Bytes in one architectural register (8 B: the ISA is 64-bit). */
+inline constexpr int kRegBytes = 8;
+
+/** Convert an address to its page number. */
+constexpr Addr
+pageOf(Addr a)
+{
+    return a / kPageSize;
+}
+
+/** Convert an address to its cache line address (aligned down). */
+constexpr Addr
+lineOf(Addr a)
+{
+    return a & ~(kLineSize - 1);
+}
+
+} // namespace gex
+
+#endif // GEX_COMMON_TYPES_HPP

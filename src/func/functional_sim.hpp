@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Execution-driven functional simulator: runs a Kernel in SIMT lockstep
+ * (divergence stack, barriers, shared memory, global atomics, device
+ * malloc) and emits the dynamic trace the timing simulator consumes.
+ */
+
+#ifndef GEX_FUNC_FUNCTIONAL_SIM_HPP
+#define GEX_FUNC_FUNCTIONAL_SIM_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "func/kernel.hpp"
+#include "func/memory.hpp"
+#include "func/simt_stack.hpp"
+#include "trace/trace.hpp"
+
+namespace gex::func {
+
+/**
+ * Functional executor. Thread blocks run one at a time (launch order);
+ * warps within a block interleave at instruction granularity with
+ * correct barrier semantics, so intra-block shared-memory communication
+ * behaves as on hardware.
+ */
+class FunctionalSim
+{
+  public:
+    /**
+     * @param mem  global memory image (inputs pre-filled by the caller;
+     *             outputs and heap written during execution)
+     */
+    explicit FunctionalSim(GlobalMemory &mem) : mem_(mem) {}
+
+    /**
+     * Execute @p kernel to completion and return its dynamic trace.
+     * Fatal on malformed kernels (unbound divergence, missing barrier
+     * convergence, heap exhaustion).
+     */
+    trace::KernelTrace run(const Kernel &kernel);
+
+    /** Cap on dynamic warp instructions per block (runaway guard). */
+    void setMaxWarpInsts(std::uint64_t n) { maxWarpInsts_ = n; }
+
+  private:
+    struct WarpExec;
+    struct BlockExec;
+
+    void runBlock(const Kernel &kernel, std::uint32_t block_id,
+                  trace::BlockTrace &out);
+    /** Execute one instruction of warp @p w; returns false if stalled
+     *  at a barrier or finished. */
+    bool stepWarp(const Kernel &kernel, BlockExec &blk, WarpExec &w,
+                  trace::WarpTrace &out);
+
+    GlobalMemory &mem_;
+    std::uint64_t maxWarpInsts_ = 50'000'000;
+};
+
+} // namespace gex::func
+
+#endif // GEX_FUNC_FUNCTIONAL_SIM_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Kernel launch description: program, geometry and parameters. Shared
+ * by the functional and timing simulators.
+ */
+
+#ifndef GEX_FUNC_KERNEL_HPP
+#define GEX_FUNC_KERNEL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/program.hpp"
+
+namespace gex::func {
+
+struct Dim3 {
+    std::uint32_t x = 1, y = 1, z = 1;
+    std::uint32_t count() const { return x * y * z; }
+};
+
+/**
+ * Classification of a kernel data buffer, controlling its initial page
+ * ownership in the demand-paging experiments (paper sections 2.3, 4.2):
+ * inputs start CPU-owned (fault ⇒ migration), outputs and heap start
+ * untouched (fault ⇒ allocation only).
+ */
+enum class BufferKind { Input, Output, InOut, Heap };
+
+struct Buffer {
+    std::string name;
+    Addr base = 0;
+    std::uint64_t bytes = 0;
+    BufferKind kind = BufferKind::Input;
+};
+
+/** A launchable kernel: code + geometry + arguments + data layout. */
+struct Kernel {
+    isa::Program program;
+    Dim3 grid;
+    Dim3 block;
+    std::vector<std::uint64_t> params;
+    std::vector<Buffer> buffers;
+
+    std::uint32_t threadsPerBlock() const { return block.count(); }
+    std::uint32_t
+    warpsPerBlock() const
+    {
+        return (block.count() + kWarpSize - 1) / kWarpSize;
+    }
+    std::uint32_t numBlocks() const { return grid.count(); }
+};
+
+} // namespace gex::func
+
+#endif // GEX_FUNC_KERNEL_HPP

@@ -1,0 +1,88 @@
+#include "func/memory.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace gex::func {
+
+GlobalMemory::Page &
+GlobalMemory::page(Addr page_num)
+{
+    auto it = pages_.find(page_num);
+    if (it == pages_.end())
+        it = pages_.emplace(page_num, Page(kPageSize, 0)).first;
+    return it->second;
+}
+
+const GlobalMemory::Page *
+GlobalMemory::pageIfPresent(Addr page_num) const
+{
+    auto it = pages_.find(page_num);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+GlobalMemory::read64(Addr a) const
+{
+    GEX_ASSERT((a & 7) == 0, "unaligned read64 at 0x%llx",
+               static_cast<unsigned long long>(a));
+    const Page *p = pageIfPresent(pageOf(a));
+    if (!p)
+        return 0;
+    std::uint64_t v;
+    std::memcpy(&v, p->data() + (a % kPageSize), sizeof(v));
+    return v;
+}
+
+void
+GlobalMemory::write64(Addr a, std::uint64_t v)
+{
+    GEX_ASSERT((a & 7) == 0, "unaligned write64 at 0x%llx",
+               static_cast<unsigned long long>(a));
+    Page &p = page(pageOf(a));
+    std::memcpy(p.data() + (a % kPageSize), &v, sizeof(v));
+}
+
+void
+GlobalMemory::fill64(Addr base, std::uint64_t count, std::uint64_t value)
+{
+    for (std::uint64_t i = 0; i < count; ++i)
+        write64(base + i * 8, value);
+}
+
+void
+GlobalMemory::fillF64(Addr base, std::uint64_t count, double value)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    fill64(base, count, bits);
+}
+
+void
+GlobalMemory::setHeap(Addr base, std::uint64_t bytes)
+{
+    GEX_ASSERT((base & (kPageSize - 1)) == 0, "heap base not page aligned");
+    heapBase_ = base;
+    heapBytes_ = bytes;
+    heapUsed_ = 16; // first 16 bytes hold the cursor itself
+    write64(base, base + heapUsed_);
+}
+
+Addr
+GlobalMemory::allocFromHeap(std::uint64_t bytes)
+{
+    GEX_ASSERT(heapBytes_ > 0, "ALLOC executed but no heap configured");
+    std::uint64_t aligned = (bytes + 15) & ~15ull;
+    if (heapUsed_ + aligned > heapBytes_)
+        fatal("device heap exhausted (%llu + %llu > %llu bytes)",
+              static_cast<unsigned long long>(heapUsed_),
+              static_cast<unsigned long long>(aligned),
+              static_cast<unsigned long long>(heapBytes_));
+    Addr result = heapBase_ + heapUsed_;
+    heapUsed_ += aligned;
+    write64(heapBase_, heapBase_ + heapUsed_);
+    return result;
+}
+
+} // namespace gex::func

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Sparse functional global memory: a page-granular byte store backing
+ * kernel data. Also tracks the device heap cursor used by ALLOC.
+ */
+
+#ifndef GEX_FUNC_MEMORY_HPP
+#define GEX_FUNC_MEMORY_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gex::func {
+
+/**
+ * Byte-addressable sparse memory. Pages are materialized (zero-filled)
+ * on first touch, which conveniently matches the lazy-allocation
+ * semantics the paper's use case 2 exposes to software.
+ */
+class GlobalMemory
+{
+  public:
+    std::uint64_t read64(Addr a) const;
+    void write64(Addr a, std::uint64_t v);
+
+    double
+    readF64(Addr a) const
+    {
+        std::uint64_t bits = read64(a);
+        double d;
+        static_assert(sizeof(d) == sizeof(bits));
+        __builtin_memcpy(&d, &bits, sizeof(d));
+        return d;
+    }
+
+    void
+    writeF64(Addr a, double v)
+    {
+        std::uint64_t bits;
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        write64(a, bits);
+    }
+
+    /** Bulk helpers for test/bench setup. */
+    void fill64(Addr base, std::uint64_t count, std::uint64_t value);
+    void fillF64(Addr base, std::uint64_t count, double value);
+
+    /**
+     * Configure the device heap region used by ALLOC. Allocations bump
+     * @c heapCursor; running past @p bytes is a fatal error.
+     */
+    void setHeap(Addr base, std::uint64_t bytes);
+    Addr heapBase() const { return heapBase_; }
+    Addr heapCursorAddr() const { return heapBase_; }
+
+    /**
+     * Device-side allocation: returns the old cursor, 16-byte aligned.
+     * The first 16 bytes of the heap hold the cursor itself, so the
+     * bump is also a real memory access (the timing side models it as
+     * an atomic on that address).
+     */
+    Addr allocFromHeap(std::uint64_t bytes);
+
+    /** Pages ever touched (reads or writes). */
+    std::size_t touchedPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::vector<std::uint8_t>;
+    Page &page(Addr pageNum);
+    const Page *pageIfPresent(Addr pageNum) const;
+
+    std::unordered_map<Addr, Page> pages_;
+    Addr heapBase_ = 0;
+    std::uint64_t heapBytes_ = 0;
+    std::uint64_t heapUsed_ = 0;
+};
+
+} // namespace gex::func
+
+#endif // GEX_FUNC_MEMORY_HPP

@@ -1,0 +1,74 @@
+#include "func/simt_stack.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace gex::func {
+
+void
+SimtStack::reset(WarpMask mask)
+{
+    stack_.clear();
+    scopes_.clear();
+    if (mask)
+        stack_.push_back({0, kNoRpc, mask});
+}
+
+void
+SimtStack::diverge(std::uint32_t taken_pc, std::uint32_t fall_pc,
+                   std::uint32_t rpc, WarpMask taken, WarpMask not_taken)
+{
+    GEX_ASSERT(!stack_.empty());
+    GEX_ASSERT(taken && not_taken, "diverge with a uniform mask");
+    GEX_ASSERT(rpc != kNoRpc,
+               "divergent branch outside any SSY scope");
+
+    // The current entry becomes the reconvergence continuation.
+    stack_.back().pc = rpc;
+
+    // A side whose first pc is already the reconvergence point has no
+    // work to do; its lanes simply wait in the parent entry.
+    if (fall_pc != rpc)
+        stack_.push_back({fall_pc, rpc, not_taken});
+    if (taken_pc != rpc)
+        stack_.push_back({taken_pc, rpc, taken});
+}
+
+bool
+SimtStack::advance(std::uint32_t next_pc)
+{
+    GEX_ASSERT(!stack_.empty());
+    stack_.back().pc = next_pc;
+
+    // Pop entries that reached their reconvergence point.
+    while (!stack_.empty() && stack_.back().pc == stack_.back().rpc)
+        stack_.pop_back();
+
+    // Close SSY scopes whose label the (converged) flow has passed.
+    // Only when no divergence is pending on that scope: children of a
+    // scope carry rpc == scope target and would have popped above.
+    while (!stack_.empty() && !scopes_.empty() &&
+           stack_.back().pc == scopes_.back()) {
+        bool pending = false;
+        for (const Entry &e : stack_)
+            if (e.rpc == scopes_.back() && &e != &stack_.back())
+                pending = true;
+        if (pending)
+            break;
+        scopes_.pop_back();
+    }
+    return !stack_.empty();
+}
+
+void
+SimtStack::removeLanes(WarpMask lanes)
+{
+    for (Entry &e : stack_)
+        e.mask &= ~lanes;
+    stack_.erase(std::remove_if(stack_.begin(), stack_.end(),
+                                [](const Entry &e) { return e.mask == 0; }),
+                 stack_.end());
+}
+
+} // namespace gex::func

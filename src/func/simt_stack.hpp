@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Per-warp SIMT reconvergence stack with explicit SSY-scope management,
+ * matching the ISA's "explicit management of the divergence stack".
+ */
+
+#ifndef GEX_FUNC_SIMT_STACK_HPP
+#define GEX_FUNC_SIMT_STACK_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gex::func {
+
+/** Sentinel reconvergence pc meaning "top level, never reconverges". */
+inline constexpr std::uint32_t kNoRpc = 0xffffffffu;
+
+/**
+ * Classic stack-based reconvergence. The top entry drives execution
+ * (pc + active mask). SSY instructions push reconvergence *scopes*; a
+ * divergent branch splits the top entry using the innermost scope
+ * target as the reconvergence pc.
+ */
+class SimtStack
+{
+  public:
+    struct Entry {
+        std::uint32_t pc;
+        std::uint32_t rpc;
+        WarpMask mask;
+    };
+
+    /** Reset to a single top-level entry covering @p mask at pc 0. */
+    void reset(WarpMask mask);
+
+    bool empty() const { return stack_.empty(); }
+    Entry &top() { return stack_.back(); }
+    const Entry &top() const { return stack_.back(); }
+    size_t depth() const { return stack_.size(); }
+
+    /** Enter an SSY scope reconverging at @p target. */
+    void pushScope(std::uint32_t target) { scopes_.push_back(target); }
+
+    /** Innermost scope target; kNoRpc when no scope is open. */
+    std::uint32_t
+    scopeTarget() const
+    {
+        return scopes_.empty() ? kNoRpc : scopes_.back();
+    }
+
+    /**
+     * Split the top entry on a divergent branch: the current entry
+     * becomes the reconvergence continuation at @p rpc, then the
+     * not-taken and taken sides are pushed (taken executes first).
+     */
+    void diverge(std::uint32_t taken_pc, std::uint32_t fall_pc,
+                 std::uint32_t rpc, WarpMask taken, WarpMask not_taken);
+
+    /**
+     * Advance the top entry to @p next_pc, popping entries whose
+     * reconvergence point was reached and closing SSY scopes whose
+     * label the flow has passed. Returns false when the stack emptied
+     * (warp finished).
+     */
+    bool advance(std::uint32_t next_pc);
+
+    /** Remove exited lanes from every entry (EXIT under divergence). */
+    void removeLanes(WarpMask lanes);
+
+  private:
+    std::vector<Entry> stack_;
+    std::vector<std::uint32_t> scopes_;
+};
+
+} // namespace gex::func
+
+#endif // GEX_FUNC_SIMT_STACK_HPP

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Umbrella public header for the gex library: a cycle-level GPU timing
+ * simulator with preemptible exception support, reproducing "Efficient
+ * Exception Handling Support for GPUs" (MICRO-50, 2017).
+ *
+ * Typical use:
+ *
+ *     gex::func::GlobalMemory mem;
+ *     gex::func::Kernel k = gex::workloads::make("sgemm", mem);
+ *     gex::func::FunctionalSim fsim(mem);
+ *     gex::trace::KernelTrace tr = fsim.run(k);
+ *
+ *     gex::gpu::GpuConfig cfg = gex::gpu::GpuConfig::baseline();
+ *     cfg.scheme = gex::gpu::Scheme::ReplayQueue;
+ *     gex::gpu::Gpu gpu(cfg);
+ *     auto result = gpu.run(k, tr);
+ */
+
+#ifndef GEX_GEX_HPP
+#define GEX_GEX_HPP
+
+#include "common/log.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "func/functional_sim.hpp"
+#include "func/kernel.hpp"
+#include "func/memory.hpp"
+#include "gpu/config.hpp"
+#include "gpu/gpu.hpp"
+#include "isa/program.hpp"
+#include "kasm/builder.hpp"
+#include "kasm/parser.hpp"
+#include "power/overheads.hpp"
+#include "vm/memory_manager.hpp"
+#include "workloads/workloads.hpp"
+
+#endif // GEX_GEX_HPP

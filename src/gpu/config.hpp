@@ -1,0 +1,153 @@
+/**
+ * @file
+ * GPU configuration: paper Table 1 defaults (NVIDIA Kepler K20-class,
+ * 16 SMs) plus the exception-scheme and use-case knobs under study.
+ */
+
+#ifndef GEX_GPU_CONFIG_HPP
+#define GEX_GPU_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "mem/cache.hpp"
+#include "vm/fill_unit.hpp"
+#include "vm/gpu_fault_handler.hpp"
+#include "vm/host_link.hpp"
+#include "vm/tlb.hpp"
+
+namespace gex::gpu {
+
+/**
+ * Exception handling scheme implemented by the SM pipeline (paper
+ * section 3). StallOnFault is the baseline: faults stall in the
+ * pipeline and are not preemptible. The remaining schemes support
+ * preemptible faults at increasing complexity.
+ */
+enum class Scheme : std::uint8_t {
+    StallOnFault,         ///< baseline (section 2.2)
+    WarpDisableCommit,    ///< wd-commit (section 3.1)
+    WarpDisableLastCheck, ///< wd-lastcheck (section 3.1)
+    ReplayQueue,          ///< replay queue (section 3.2)
+    OperandLog,           ///< operand log (section 3.3)
+};
+
+const char *schemeName(Scheme s);
+
+/** Warp selection policy for the fetch/issue schedulers. */
+enum class SchedPolicy : std::uint8_t {
+    LooseRoundRobin, ///< rotate the starting warp every grant (default)
+    GreedyThenOldest, ///< stick with the last warp, then oldest ready
+};
+
+/** Per-SM microarchitecture (paper Table 1, SM section). */
+struct SmConfig {
+    int maxThreadBlocks = 16;
+    int maxWarps = 64;
+    std::uint32_t registerFileBytes = 256 * 1024;
+    std::uint32_t sharedMemBytes = 32 * 1024;
+
+    int issueWidth = 2;        ///< 2 instructions total per cycle
+    int maxIssuePerWarp = 2;   ///< from 1 or 2 warps
+    int fetchPerCycle = 1;     ///< one instruction line per cycle...
+    int fetchWidth = 2;        ///< ...holding this many instructions
+    int instBufferDepth = 2;
+
+    SchedPolicy schedPolicy = SchedPolicy::LooseRoundRobin;
+
+    int numMathUnits = 2;
+    Cycle mathLatency = 4;
+    Cycle sfuLatency = 16;
+    Cycle branchLatency = 4;
+    Cycle sharedLatency = 24;
+    Cycle atomicExtraLatency = 8;
+
+    mem::CacheConfig l1 = {"l1", 32 * 1024, 4, 40, 32, 1};
+    vm::TlbConfig l1Tlb = {"l1tlb", 32, 8, 1, 32};
+
+    /** Coalesced requests entering translation per cycle. */
+    int translationsPerCycle = 1;
+
+    /**
+     * Global-memory pipeline front end: address calculation and
+     * coalescing-queue occupancy between operand read and the first
+     * TLB access (paper Figures 3-7 show the deep, variable-latency
+     * global memory pipeline). This is the distance between issue and
+     * the "last TLB check" that wd-lastcheck / replay-queue /
+     * operand-log wait on.
+     */
+    Cycle memFrontendCycles = 10;
+
+    /** In-flight global-memory instructions per SM (LSU queue). */
+    int lsuQueueDepth = 32;
+
+    /**
+     * Fetch pipeline refill penalty after a warp-disable re-enable:
+     * the warp lost its fetch slot and must re-enter the fetch stage
+     * (warp-disable schemes only).
+     */
+    Cycle fetchRestartPenalty = 6;
+};
+
+/** Whole-GPU configuration (paper Table 1, System section). */
+struct GpuConfig {
+    int numSms = 16;
+    SmConfig sm;
+
+    mem::CacheConfig l2 = {"l2", 2 * 1024 * 1024, 8, 70, 512, 2};
+    double dramBytesPerCycle = 256.0; ///< 256 GB/s at 1 GHz
+    Cycle dramLatency = 200;
+
+    /** Fault handling / migration granularity (paper: 64 KB). */
+    Addr migrationGranularityBytes = kDefaultMigrationBytes;
+
+    vm::MmuConfig mmu;
+    vm::HostLinkConfig hostLink = vm::HostLinkConfig::nvlink();
+    vm::GpuHandlerConfig gpuHandler;
+
+    Scheme scheme = Scheme::StallOnFault;
+    /** Operand log capacity per SM (OperandLog scheme only). */
+    std::uint32_t operandLogBytes = 16 * 1024;
+
+    /** UC1: context switch faulted thread blocks (section 4.1). */
+    bool blockSwitching = false;
+    /** UC1: ideal 1-cycle context save/restore (Figure 12). */
+    bool idealContextSwitch = false;
+    /** UC1: extra off-chip blocks allowed per SM. */
+    int maxExtraBlocks = 4;
+    /** UC1: switch only when this many faults are already pending. */
+    int switchQueueThreshold = 1;
+    /** Fixed per-switch control overhead (non-ideal), cycles. */
+    Cycle contextSwitchOverhead = 100;
+    /**
+     * UC1 anti-churn: a block must have been resident this long
+     * before it may be switched out again. Freshly installed
+     * replacement blocks usually fault immediately during a migration
+     * storm; re-switching them thrashes context state for no gain.
+     */
+    Cycle minResidencyBeforeSwitch = 4000;
+
+    /** Retry latency after a stalled fault resolves (baseline). */
+    Cycle faultRetryLatency = 20;
+
+    /**
+     * Extension (paper sections 3.1/3.2): make arithmetic exceptions
+     * (divide by zero, ...) preemptible too. Under the warp-disable
+     * schemes, instructions that can raise them become fetch barriers;
+     * under the replay queue their sources release at completion. A
+     * raising instruction switches its warp into a GPU trap handler.
+     */
+    bool arithExceptions = false;
+    /** Trap handler routine latency for arithmetic exceptions. */
+    Cycle trapHandlerCycles = 500;
+
+    /** Paper Table 1 defaults. */
+    static GpuConfig baseline();
+
+    /** Human-readable parameter dump (Table 1 reproduction). */
+    std::string describe() const;
+};
+
+} // namespace gex::gpu
+
+#endif // GEX_GPU_CONFIG_HPP

@@ -1,0 +1,56 @@
+#include "gpu/context_switch.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace gex::gpu {
+
+std::uint64_t
+contextBytesPerBlock(const GpuConfig &cfg, const func::Kernel &kernel)
+{
+    std::uint64_t rf = static_cast<std::uint64_t>(kernel.threadsPerBlock()) *
+                       static_cast<std::uint64_t>(
+                           kernel.program.regsPerThread()) *
+                       kRegBytes;
+    std::uint64_t bytes = rf + kernel.program.sharedBytes() +
+                          kControlStateBytes;
+    // The operand log partition is part of the context too (§3.3).
+    if (cfg.scheme == Scheme::OperandLog) {
+        int blocks = blocksPerSm(cfg, kernel);
+        bytes += cfg.operandLogBytes / static_cast<std::uint32_t>(blocks);
+    }
+    return bytes;
+}
+
+int
+blocksPerSm(const GpuConfig &cfg, const func::Kernel &kernel)
+{
+    const std::uint32_t threads = kernel.threadsPerBlock();
+    const std::uint32_t warps = kernel.warpsPerBlock();
+    GEX_ASSERT(threads > 0);
+
+    std::uint64_t reg_bytes =
+        static_cast<std::uint64_t>(threads) *
+        static_cast<std::uint64_t>(kernel.program.regsPerThread()) *
+        kRegBytes;
+    std::uint64_t by_rf = cfg.sm.registerFileBytes / reg_bytes;
+    std::uint64_t by_shared =
+        kernel.program.sharedBytes() > 0
+            ? cfg.sm.sharedMemBytes / kernel.program.sharedBytes()
+            : static_cast<std::uint64_t>(cfg.sm.maxThreadBlocks);
+    std::uint64_t by_warps = static_cast<std::uint64_t>(cfg.sm.maxWarps) /
+                             warps;
+    std::uint64_t blocks =
+        std::min({by_rf, by_shared, by_warps,
+                  static_cast<std::uint64_t>(cfg.sm.maxThreadBlocks)});
+    if (blocks == 0)
+        fatal("kernel '%s' does not fit on an SM (regs=%d threads=%u "
+              "shared=%uB)",
+              kernel.program.name().c_str(),
+              kernel.program.regsPerThread(), threads,
+              kernel.program.sharedBytes());
+    return static_cast<int>(blocks);
+}
+
+} // namespace gex::gpu

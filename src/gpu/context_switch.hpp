@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Thread block context sizing (paper section 4.1): the state that must
+ * move off-chip on a switch — register file footprint of all the
+ * block's threads, its shared memory partition, and control state
+ * (barrier unit, divergence stacks, replay queue entries).
+ */
+
+#ifndef GEX_GPU_CONTEXT_SWITCH_HPP
+#define GEX_GPU_CONTEXT_SWITCH_HPP
+
+#include "func/kernel.hpp"
+#include "gpu/config.hpp"
+
+namespace gex::gpu {
+
+/** Control-state bytes per block (barrier unit, SIMT stacks, RQ). */
+inline constexpr std::uint64_t kControlStateBytes = 512;
+
+/** Bytes saved/restored when context switching one thread block. */
+std::uint64_t contextBytesPerBlock(const GpuConfig &cfg,
+                                   const func::Kernel &kernel);
+
+/** Resident thread blocks per SM for this kernel (occupancy). */
+int blocksPerSm(const GpuConfig &cfg, const func::Kernel &kernel);
+
+} // namespace gex::gpu
+
+#endif // GEX_GPU_CONTEXT_SWITCH_HPP

@@ -1,0 +1,171 @@
+#include "gpu/gpu.hpp"
+
+#include "common/log.hpp"
+
+namespace gex::gpu {
+
+Gpu::Gpu(const GpuConfig &cfg) : cfg_(cfg) {}
+Gpu::~Gpu() = default;
+
+void
+Gpu::reset(const func::Kernel &kernel, const trace::KernelTrace &trace,
+           const vm::VmPolicy &policy)
+{
+    mem::CacheConfig l2cfg = cfg_.l2;
+    l2cfg.writeAllocate = true; // GPU L2: write-back, write-allocate
+    l2_ = std::make_unique<mem::Cache>(l2cfg);
+    dram_ = std::make_unique<mem::Dram>(cfg_.dramBytesPerCycle,
+                                        cfg_.dramLatency);
+    l2_->setWriteback([this](Addr, Cycle at) { dram_->writeLine(at); });
+    dir_ = std::make_unique<vm::PageDirectory>(
+        cfg_.migrationGranularityBytes);
+    link_ = std::make_unique<vm::HostLink>(cfg_.hostLink);
+    gpuHandler_ = std::make_unique<vm::GpuFaultHandler>(cfg_.gpuHandler);
+
+    vm::MmuConfig mmu_cfg = cfg_.mmu;
+    mmu_cfg.localHandling = policy.localHandling;
+    mmu_ = std::make_unique<vm::SystemMmu>(mmu_cfg, *dir_, *link_,
+                                           *gpuHandler_);
+
+    vm::applyPolicy(*dir_, kernel, policy);
+
+    sched_ = std::make_unique<TbScheduler>(trace);
+    sms_.clear();
+    for (int i = 0; i < cfg_.numSms; ++i)
+        sms_.push_back(std::make_unique<sm::Sm>(i, cfg_, *this, *sched_));
+}
+
+bool
+Gpu::allDone() const
+{
+    if (sched_->hasPending())
+        return false;
+    for (const auto &s : sms_)
+        if (s->busy())
+            return false;
+    return true;
+}
+
+SimResult
+Gpu::run(const func::Kernel &kernel, const trace::KernelTrace &trace,
+         const vm::VmPolicy &policy)
+{
+    kernel.program.validate();
+    GEX_ASSERT(trace.blocks.size() == kernel.numBlocks(),
+               "trace/kernel geometry mismatch");
+    reset(kernel, trace, policy);
+
+    sm::LaunchInfo li;
+    li.kernel = &kernel;
+    li.trace = &trace;
+    li.warpsPerBlock = static_cast<int>(kernel.warpsPerBlock());
+    li.blocksPerSm = blocksPerSm(cfg_, kernel);
+    li.contextBytesPerBlock = contextBytesPerBlock(cfg_, kernel);
+    for (auto &s : sms_)
+        s->beginKernel(li);
+
+    // Initial fill: breadth-first across SMs, as the baseline TB
+    // scheduler does on a kernel launch.
+    bool placed = true;
+    while (placed && sched_->hasPending()) {
+        placed = false;
+        for (auto &s : sms_) {
+            if (!sched_->hasPending())
+                break;
+            if (s->freeSlots() > 0) {
+                const trace::BlockTrace *bt = sched_->nextBlock();
+                GEX_ASSERT(bt != nullptr);
+                bool ok = s->launchBlock(bt, 0);
+                GEX_ASSERT(ok);
+                placed = true;
+            }
+        }
+    }
+
+    Cycle now = 0;
+    while (true) {
+        bool any = false;
+        for (auto &s : sms_) {
+            s->tick(now);
+            any |= s->didWork();
+        }
+        if (allDone())
+            break;
+        if (any) {
+            ++now;
+            continue;
+        }
+        Cycle nxt = kNoCycle;
+        for (auto &s : sms_)
+            nxt = std::min(nxt, s->nextEventCycle());
+        if (nxt == kNoCycle)
+            panic("GPU deadlock at cycle %llu: no work and no events",
+                  static_cast<unsigned long long>(now));
+        now = std::max(now + 1, nxt);
+    }
+
+    SimResult r;
+    r.cycles = now;
+    for (auto &s : sms_) {
+        r.instructions += s->instsCommitted();
+        s->collectStats(r.stats);
+    }
+    l2_->collectStats(r.stats);
+    dram_->collectStats(r.stats);
+    mmu_->collectStats(r.stats);
+    link_->collectStats(r.stats);
+    gpuHandler_->collectStats(r.stats);
+    dir_->collectStats(r.stats);
+    r.stats.set("gpu.cycles", static_cast<double>(r.cycles));
+    r.stats.set("gpu.instructions", static_cast<double>(r.instructions));
+    r.stats.set("gpu.ipc", r.ipc());
+    r.stats.set("gpu.blocks", static_cast<double>(trace.blocks.size()));
+    return r;
+}
+
+Cycle
+Gpu::l2Load(Addr line, Cycle earliest)
+{
+    return l2_->load(line, earliest, [this](Addr l, Cycle t) {
+        (void)l;
+        return dram_->readLine(t);
+    });
+}
+
+Cycle
+Gpu::l2Store(Addr line, Cycle earliest)
+{
+    // Write-allocate: DRAM traffic happens on dirty eviction (the
+    // writeback callback), not on the store itself.
+    return l2_->store(line, earliest);
+}
+
+Cycle
+Gpu::l2Atomic(Addr line, Cycle earliest)
+{
+    Cycle done = l2_->load(line, earliest, [this](Addr l, Cycle t) {
+        (void)l;
+        return dram_->readLine(t);
+    });
+    return done + cfg_.sm.atomicExtraLatency;
+}
+
+vm::Translation
+Gpu::translatePage(Addr page, Cycle earliest)
+{
+    return mmu_->translate(page, earliest);
+}
+
+Cycle
+Gpu::bulkDramTraffic(Cycle earliest, std::uint64_t bytes)
+{
+    return dram_->bulkTransfer(earliest, bytes);
+}
+
+int
+Gpu::pendingFaults(Cycle now)
+{
+    return mmu_->pendingFaults(now);
+}
+
+} // namespace gex::gpu

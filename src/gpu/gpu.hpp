@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Top-level GPU timing simulator: owns the SM array, the shared L2,
+ * DRAM, the system MMU, the host link and the GPU-local fault handler;
+ * drives the global clock with event-based cycle skipping; produces a
+ * SimResult per kernel run.
+ */
+
+#ifndef GEX_GPU_GPU_HPP
+#define GEX_GPU_GPU_HPP
+
+#include <memory>
+#include <vector>
+
+#include "func/kernel.hpp"
+#include "gpu/config.hpp"
+#include "gpu/context_switch.hpp"
+#include "gpu/tb_scheduler.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "sm/lsu.hpp"
+#include "sm/sm.hpp"
+#include "trace/trace.hpp"
+#include "vm/fill_unit.hpp"
+#include "vm/memory_manager.hpp"
+
+namespace gex::gpu {
+
+/** Outcome of one kernel execution on the timing simulator. */
+struct SimResult {
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+    StatSet stats;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/**
+ * A configured GPU. Each run() executes one kernel trace to completion
+ * on fresh microarchitectural state (caches, TLBs, page directory),
+ * mirroring the paper's one-kernel-per-simulation methodology.
+ */
+class Gpu : public sm::MemorySystem
+{
+  public:
+    explicit Gpu(const GpuConfig &cfg);
+    ~Gpu() override;
+
+    /**
+     * Execute @p kernel (whose dynamic behaviour is @p trace) under
+     * the given paging policy.
+     */
+    SimResult run(const func::Kernel &kernel,
+                  const trace::KernelTrace &trace,
+                  const vm::VmPolicy &policy = vm::VmPolicy::allResident());
+
+    const GpuConfig &config() const { return cfg_; }
+
+    // --- sm::MemorySystem ---
+    Cycle l2Load(Addr line, Cycle earliest) override;
+    Cycle l2Store(Addr line, Cycle earliest) override;
+    Cycle l2Atomic(Addr line, Cycle earliest) override;
+    vm::Translation translatePage(Addr page, Cycle earliest) override;
+    Cycle bulkDramTraffic(Cycle earliest, std::uint64_t bytes) override;
+    int pendingFaults(Cycle now) override;
+
+  private:
+    void reset(const func::Kernel &kernel,
+               const trace::KernelTrace &trace, const vm::VmPolicy &policy);
+    bool allDone() const;
+
+    GpuConfig cfg_;
+    std::unique_ptr<mem::Cache> l2_;
+    std::unique_ptr<mem::Dram> dram_;
+    std::unique_ptr<vm::PageDirectory> dir_;
+    std::unique_ptr<vm::HostLink> link_;
+    std::unique_ptr<vm::GpuFaultHandler> gpuHandler_;
+    std::unique_ptr<vm::SystemMmu> mmu_;
+    std::unique_ptr<TbScheduler> sched_;
+    std::vector<std::unique_ptr<sm::Sm>> sms_;
+};
+
+} // namespace gex::gpu
+
+#endif // GEX_GPU_GPU_HPP

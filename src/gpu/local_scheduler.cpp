@@ -1,0 +1,24 @@
+#include "gpu/local_scheduler.hpp"
+
+namespace gex::gpu {
+
+bool
+shouldSwitchOnFault(const GpuConfig &cfg, int queue_depth, int owned,
+                    int capacity, bool has_pending, int offchip)
+{
+    if (!cfg.blockSwitching)
+        return false;
+    // Avoid wasteful switching: only when the fault is queued behind
+    // enough others that resolution is far away (paper: "position
+    // above a set threshold").
+    if (queue_depth < cfg.switchQueueThreshold)
+        return false;
+    // There must be something to run instead: either a fresh pending
+    // block within the extra-block budget, or a resolved/soon-resolved
+    // off-chip block.
+    bool can_take_new =
+        has_pending && owned < capacity + cfg.maxExtraBlocks;
+    return can_take_new || offchip > 0;
+}
+
+} // namespace gex::gpu

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * UC1 local scheduler policy (paper section 4.1, Figure 9): decide
+ * whether a faulted thread block is worth switching out. The decision
+ * inputs are the fault's position in the global pending-fault queue
+ * (a deep queue means a long resolution) and whether there is anything
+ * to run in the block's place.
+ */
+
+#ifndef GEX_GPU_LOCAL_SCHEDULER_HPP
+#define GEX_GPU_LOCAL_SCHEDULER_HPP
+
+#include "gpu/config.hpp"
+
+namespace gex::gpu {
+
+/**
+ * Switch-out decision. @p queue_depth is the number of pending faults
+ * ahead of this one, @p owned is active+off-chip blocks on the SM,
+ * @p capacity the SM's resident block limit, @p has_pending whether the
+ * global scheduler still has blocks, @p offchip the SM's off-chip count.
+ */
+bool shouldSwitchOnFault(const GpuConfig &cfg, int queue_depth, int owned,
+                         int capacity, bool has_pending, int offchip);
+
+} // namespace gex::gpu
+
+#endif // GEX_GPU_LOCAL_SCHEDULER_HPP

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Global thread block scheduler (paper Figure 1, "TB scheduler"):
+ * hands out pending thread blocks in launch order. SMs pull a new
+ * block when a running block finishes, or — with UC1 — when the local
+ * scheduler switches a faulted block out.
+ */
+
+#ifndef GEX_GPU_TB_SCHEDULER_HPP
+#define GEX_GPU_TB_SCHEDULER_HPP
+
+#include "sm/sm.hpp"
+#include "trace/trace.hpp"
+
+namespace gex::gpu {
+
+class TbScheduler : public sm::BlockSupply
+{
+  public:
+    explicit TbScheduler(const trace::KernelTrace &kt) : kt_(kt) {}
+
+    const trace::BlockTrace *
+    nextBlock() override
+    {
+        if (next_ >= kt_.blocks.size())
+            return nullptr;
+        return &kt_.blocks[next_++];
+    }
+
+    bool hasPending() const override { return next_ < kt_.blocks.size(); }
+
+    std::size_t issued() const { return next_; }
+    std::size_t total() const { return kt_.blocks.size(); }
+
+  private:
+    const trace::KernelTrace &kt_;
+    std::size_t next_ = 0;
+};
+
+} // namespace gex::gpu
+
+#endif // GEX_GPU_TB_SCHEDULER_HPP

@@ -1,0 +1,150 @@
+#include "isa/instruction.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace gex::isa {
+
+namespace {
+
+std::array<const char *, static_cast<size_t>(SpecialReg::NumSpecialRegs)>
+    kSpecialNames = {
+        "%tid.x",    "%tid.y",    "%tid.z",
+        "%ntid.x",   "%ntid.y",   "%ntid.z",
+        "%ctaid.x",  "%ctaid.y",  "%ctaid.z",
+        "%nctaid.x", "%nctaid.y", "%nctaid.z",
+        "%laneid",   "%warpid",   "%gtid",
+};
+
+std::string
+regName(Reg r)
+{
+    if (r == kRegZero)
+        return "rz";
+    return "r" + std::to_string(static_cast<int>(r));
+}
+
+std::string
+predName(PredReg p)
+{
+    if (p == kPredTrue)
+        return "pt";
+    return "p" + std::to_string(static_cast<int>(p));
+}
+
+} // namespace
+
+std::string
+specialRegName(SpecialReg r)
+{
+    auto idx = static_cast<size_t>(r);
+    GEX_ASSERT(idx < kSpecialNames.size());
+    return kSpecialNames[idx];
+}
+
+SpecialReg
+specialRegFromName(const std::string &name)
+{
+    for (size_t i = 0; i < kSpecialNames.size(); ++i)
+        if (name == kSpecialNames[i])
+            return static_cast<SpecialReg>(i);
+    return SpecialReg::NumSpecialRegs;
+}
+
+int
+Instruction::numSrcRegs() const
+{
+    int n = traits().numSrcs;
+    // CAS uses all three sources; plain atomics use two; loads one.
+    return n;
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    if (pred != kPredTrue || predNeg)
+        os << "@" << (predNeg ? "!" : "") << predName(pred) << " ";
+    os << opcodeName(op);
+
+    const auto &t = traits();
+    switch (op) {
+      case Opcode::MOVI:
+        os << " " << regName(dst) << ", " << imm;
+        break;
+      case Opcode::S2R:
+        os << " " << regName(dst) << ", "
+           << specialRegName(static_cast<SpecialReg>(imm));
+        break;
+      case Opcode::LDPARAM:
+        os << " " << regName(dst) << ", param[" << imm << "]";
+        break;
+      case Opcode::SETP:
+        os << (fcmp ? ".f" : ".i") << "." << cmpName(cmp) << " "
+           << predName(predDst) << ", " << regName(srcs[0]) << ", "
+           << regName(srcs[1]);
+        break;
+      case Opcode::PSETP:
+        os << " " << predName(predDst) << ", " << predName(predA) << ", "
+           << predName(predB);
+        break;
+      case Opcode::SEL:
+        os << " " << regName(dst) << ", " << regName(srcs[0]) << ", "
+           << regName(srcs[1]) << ", " << predName(predA);
+        break;
+      case Opcode::BRA:
+      case Opcode::SSY:
+        os << " @" << target;
+        break;
+      case Opcode::LD_GLOBAL:
+      case Opcode::LD_SHARED:
+        os << " " << regName(dst) << ", [" << regName(srcs[0]);
+        if (imm)
+            os << (imm > 0 ? "+" : "") << imm;
+        os << "]";
+        break;
+      case Opcode::ST_GLOBAL:
+      case Opcode::ST_SHARED:
+        os << " [" << regName(srcs[0]);
+        if (imm)
+            os << (imm > 0 ? "+" : "") << imm;
+        os << "], " << regName(srcs[1]);
+        break;
+      case Opcode::ATOM_ADD:
+      case Opcode::ATOM_MIN:
+      case Opcode::ATOM_MAX:
+      case Opcode::ATOM_EXCH:
+        os << " " << regName(dst) << ", [" << regName(srcs[0]) << "], "
+           << regName(srcs[1]);
+        break;
+      case Opcode::ATOM_CAS:
+        os << " " << regName(dst) << ", [" << regName(srcs[0]) << "], "
+           << regName(srcs[1]) << ", " << regName(srcs[2]);
+        break;
+      case Opcode::ALLOC:
+        os << " " << regName(dst) << ", " << regName(srcs[0]);
+        break;
+      default: {
+        bool first = true;
+        if (writesReg() || (t.writesDst && dst == kRegZero)) {
+            os << " " << regName(dst);
+            first = false;
+        }
+        for (int i = 0; i < t.numSrcs; ++i) {
+            os << (first ? " " : ", ") << regName(srcs[i]);
+            first = false;
+        }
+        if (op == Opcode::SHL || op == Opcode::SHR ||
+            op == Opcode::IADD || op == Opcode::IMUL) {
+            if (imm)
+                os << ", " << imm;
+        }
+        break;
+      }
+    }
+    return os.str();
+}
+
+} // namespace gex::isa

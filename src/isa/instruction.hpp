@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The static instruction representation shared by the assembler, the
+ * functional simulator and the timing simulator.
+ */
+
+#ifndef GEX_ISA_INSTRUCTION_HPP
+#define GEX_ISA_INSTRUCTION_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcodes.hpp"
+#include "isa/registers.hpp"
+
+namespace gex::isa {
+
+/** Logic ops for PSETP (predicate combine). */
+enum class PLogic : std::uint8_t { And, Or, Xor, Not };
+
+/**
+ * One static instruction. A fixed-size POD: operands that are unused by
+ * a given opcode are left at their defaults. Field use by class:
+ *
+ *  - ALU/FPU:     dst, srcs[0..2], imm (MOVI/shift immediates)
+ *  - SETP:        predDst, cmp, fcmp, srcs[0..1]
+ *  - PSETP:       predDst, plogic, predA, predB
+ *  - SEL:         dst, srcs[0..1], predA (selector)
+ *  - S2R:         dst, sreg
+ *  - LDPARAM:     dst, imm = parameter index
+ *  - LD/ST/ATOM:  dst (loads/atomics), srcs[0] = address base,
+ *                 imm = byte offset, srcs[1] = store/atomic data,
+ *                 srcs[2] = CAS swap value
+ *  - BRA/SSY:     target (instruction index, resolved from labels)
+ *  - ALLOC:       dst = returned address, srcs[0] = size in bytes
+ *
+ * Every instruction is guarded by predicate @c pred (negated when
+ * @c predNeg), defaulting to PT.
+ */
+struct Instruction {
+    Opcode op = Opcode::NOP;
+
+    Reg dst = kRegZero;
+    Reg srcs[3] = {kRegZero, kRegZero, kRegZero};
+    std::int64_t imm = 0;
+    /**
+     * When set on a two-source ALU/SETP instruction, the second operand
+     * is @c imm instead of srcs[1] (for FP opcodes imm holds the
+     * bit-cast double). Memory opcodes always use imm as byte offset.
+     */
+    bool useImm = false;
+
+    Cmp cmp = Cmp::EQ;
+    bool fcmp = false;            ///< SETP compares as floating point
+    PLogic plogic = PLogic::And;
+    PredReg predDst = kPredTrue;  ///< SETP/PSETP destination
+    PredReg predA = kPredTrue;    ///< PSETP lhs / SEL selector
+    PredReg predB = kPredTrue;    ///< PSETP rhs
+
+    PredReg pred = kPredTrue;     ///< guard predicate
+    bool predNeg = false;
+
+    std::int32_t target = -1;     ///< branch/SSY target (pc index)
+
+    const OpTraits &traits() const { return isa::traits(op); }
+    bool isGlobalMem() const { return traits().isGlobalMem; }
+    bool isMem() const
+    {
+        const auto &t = traits();
+        return t.isGlobalMem || t.isSharedMem;
+    }
+    bool isControl() const { return traits().isControl; }
+
+    /** Number of architectural source GPRs actually read. */
+    int numSrcRegs() const;
+
+    /** True when the instruction writes a GPR (honours RZ). */
+    bool
+    writesReg() const
+    {
+        return traits().writesDst && dst != kRegZero;
+    }
+
+    /** Disassemble to text (labels rendered as absolute indices). */
+    std::string toString() const;
+};
+
+} // namespace gex::isa
+
+#endif // GEX_ISA_INSTRUCTION_HPP

@@ -1,0 +1,77 @@
+#include "isa/program.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace gex::isa {
+
+Program::Program(std::string name, std::vector<Instruction> insts,
+                 int regs_per_thread, std::uint32_t shared_bytes,
+                 int num_params)
+    : name_(std::move(name)), insts_(std::move(insts)),
+      regsPerThread_(regs_per_thread), sharedBytes_(shared_bytes),
+      numParams_(num_params)
+{
+}
+
+void
+Program::validate() const
+{
+    if (insts_.empty())
+        fatal("program '%s' is empty", name_.c_str());
+    if (regsPerThread_ <= 0 || regsPerThread_ > kMaxRegs)
+        fatal("program '%s': bad regsPerThread %d", name_.c_str(),
+              regsPerThread_);
+
+    bool has_exit = false;
+    for (size_t pc = 0; pc < insts_.size(); ++pc) {
+        const Instruction &in = insts_[pc];
+        const OpTraits &t = in.traits();
+        if (t.isExit)
+            has_exit = true;
+        if (in.op == Opcode::BRA || in.op == Opcode::SSY) {
+            if (in.target < 0 ||
+                static_cast<size_t>(in.target) >= insts_.size()) {
+                fatal("program '%s': pc %zu target %d out of range",
+                      name_.c_str(), pc, in.target);
+            }
+        }
+        auto check_reg = [&](Reg r, const char *what) {
+            if (r != kRegZero && r >= regsPerThread_)
+                fatal("program '%s': pc %zu %s r%d >= regsPerThread %d",
+                      name_.c_str(), pc, what, r, regsPerThread_);
+        };
+        if (t.writesDst)
+            check_reg(in.dst, "dst");
+        for (int i = 0; i < t.numSrcs; ++i)
+            check_reg(in.srcs[i], "src");
+        if (in.op == Opcode::LDPARAM &&
+            (in.imm < 0 || in.imm >= numParams_)) {
+            fatal("program '%s': pc %zu param index %lld out of range",
+                  name_.c_str(), pc, static_cast<long long>(in.imm));
+        }
+    }
+    if (!has_exit)
+        fatal("program '%s' has no EXIT", name_.c_str());
+
+    const Instruction &last = insts_.back();
+    if (!(last.traits().isExit ||
+          (last.op == Opcode::BRA && last.pred == kPredTrue &&
+           !last.predNeg))) {
+        fatal("program '%s' can fall off the end", name_.c_str());
+    }
+}
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream os;
+    os << "// kernel " << name_ << "  regs=" << regsPerThread_
+       << " shared=" << sharedBytes_ << "B params=" << numParams_ << "\n";
+    for (size_t pc = 0; pc < insts_.size(); ++pc)
+        os << pc << ":\t" << insts_[pc].toString() << "\n";
+    return os.str();
+}
+
+} // namespace gex::isa

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A Program is a validated straight-line array of instructions plus the
+ * static resource metadata that determines SM occupancy.
+ */
+
+#ifndef GEX_ISA_PROGRAM_HPP
+#define GEX_ISA_PROGRAM_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace gex::isa {
+
+/**
+ * A compiled kernel body. Instruction indices are the program counter
+ * values used by branches and the divergence stack.
+ */
+class Program
+{
+  public:
+    Program() = default;
+    Program(std::string name, std::vector<Instruction> insts,
+            int regs_per_thread, std::uint32_t shared_bytes,
+            int num_params);
+
+    const std::string &name() const { return name_; }
+    const std::vector<Instruction> &insts() const { return insts_; }
+    const Instruction &at(size_t pc) const { return insts_[pc]; }
+    size_t size() const { return insts_.size(); }
+
+    /** Architectural registers per thread (drives RF occupancy). */
+    int regsPerThread() const { return regsPerThread_; }
+    /** Static shared memory per thread block in bytes. */
+    std::uint32_t sharedBytes() const { return sharedBytes_; }
+    /** Number of kernel parameters expected by LDPARAM. */
+    int numParams() const { return numParams_; }
+
+    /**
+     * Check structural invariants: branch targets in range, register
+     * indices below regsPerThread, program ends in EXIT on every path
+     * (approximated as: an EXIT exists and the last instruction is
+     * EXIT or an unconditional BRA). Calls fatal() on violation.
+     */
+    void validate() const;
+
+    /** Full disassembly listing, one instruction per line. */
+    std::string disassemble() const;
+
+  private:
+    std::string name_;
+    std::vector<Instruction> insts_;
+    int regsPerThread_ = 0;
+    std::uint32_t sharedBytes_ = 0;
+    int numParams_ = 0;
+};
+
+} // namespace gex::isa
+
+#endif // GEX_ISA_PROGRAM_HPP

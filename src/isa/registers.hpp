@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Register identifiers: general purpose registers, predicate registers
+ * and the read-only special registers exposed through S2R.
+ */
+
+#ifndef GEX_ISA_REGISTERS_HPP
+#define GEX_ISA_REGISTERS_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace gex::isa {
+
+/** General purpose register index (per thread, 64-bit each). */
+using Reg = std::uint8_t;
+
+/** Maximum addressable GPRs per thread (matches Kepler-class limits). */
+inline constexpr int kMaxRegs = 240;
+
+/** RZ: reads as zero, writes are discarded. */
+inline constexpr Reg kRegZero = 255;
+
+/** Predicate register index. */
+using PredReg = std::uint8_t;
+
+/** Number of writable predicate registers per thread. */
+inline constexpr int kNumPreds = 7;
+
+/** PT: always-true predicate; writes are discarded. */
+inline constexpr PredReg kPredTrue = 7;
+
+/**
+ * Special (read-only) registers available via S2R.
+ * Thread/block geometry mirrors the CUDA built-ins.
+ */
+enum class SpecialReg : std::uint8_t {
+    TidX, TidY, TidZ,
+    NTidX, NTidY, NTidZ,
+    CtaIdX, CtaIdY, CtaIdZ,
+    NCtaIdX, NCtaIdY, NCtaIdZ,
+    LaneId,
+    WarpId,
+    GlobalTid,   ///< flattened global thread index (convenience)
+    NumSpecialRegs,
+};
+
+/** Name like "%tid.x" for diagnostics and the assembler. */
+std::string specialRegName(SpecialReg r);
+
+/** Inverse of specialRegName; NumSpecialRegs when unknown. */
+SpecialReg specialRegFromName(const std::string &name);
+
+} // namespace gex::isa
+
+#endif // GEX_ISA_REGISTERS_HPP

@@ -1,0 +1,396 @@
+#include "kasm/builder.hpp"
+
+#include <bit>
+
+#include "common/log.hpp"
+
+namespace gex::kasm {
+
+using isa::Instruction;
+using isa::kPredTrue;
+using isa::kRegZero;
+
+KernelBuilder::Label
+KernelBuilder::label()
+{
+    labelPc_.push_back(-1);
+    return static_cast<Label>(labelPc_.size()) - 1;
+}
+
+void
+KernelBuilder::bind(Label l)
+{
+    GEX_ASSERT(l >= 0 && static_cast<size_t>(l) < labelPc_.size());
+    GEX_ASSERT(labelPc_[static_cast<size_t>(l)] == -1,
+               "label %d bound twice", l);
+    labelPc_[static_cast<size_t>(l)] = static_cast<int>(insts_.size());
+}
+
+void
+KernelBuilder::guard(PredReg p, bool negate)
+{
+    guardPred_ = p;
+    guardNeg_ = negate;
+}
+
+void
+KernelBuilder::clearGuard()
+{
+    guardPred_ = kPredTrue;
+    guardNeg_ = false;
+}
+
+Instruction
+KernelBuilder::make(Opcode op)
+{
+    Instruction in;
+    in.op = op;
+    in.pred = guardPred_;
+    in.predNeg = guardNeg_;
+    return in;
+}
+
+void
+KernelBuilder::trackReg(Reg r)
+{
+    if (r != kRegZero && static_cast<int>(r) > maxReg_)
+        maxReg_ = static_cast<int>(r);
+}
+
+void
+KernelBuilder::emit(const Instruction &inst)
+{
+    const auto &t = inst.traits();
+    if (t.writesDst)
+        trackReg(inst.dst);
+    for (int i = 0; i < t.numSrcs; ++i)
+        trackReg(inst.srcs[i]);
+    insts_.push_back(inst);
+}
+
+void
+KernelBuilder::emitAlu(Opcode op, Reg d, Reg a, Reg b)
+{
+    Instruction in = make(op);
+    in.dst = d;
+    in.srcs[0] = a;
+    in.srcs[1] = b;
+    emit(in);
+}
+
+void
+KernelBuilder::emitAluImm(Opcode op, Reg d, Reg a, std::int64_t imm)
+{
+    Instruction in = make(op);
+    in.dst = d;
+    in.srcs[0] = a;
+    in.imm = imm;
+    in.useImm = true;
+    emit(in);
+}
+
+void
+KernelBuilder::emitUnary(Opcode op, Reg d, Reg a)
+{
+    Instruction in = make(op);
+    in.dst = d;
+    in.srcs[0] = a;
+    emit(in);
+}
+
+void
+KernelBuilder::movi(Reg d, std::int64_t v)
+{
+    Instruction in = make(Opcode::MOVI);
+    in.dst = d;
+    in.imm = v;
+    emit(in);
+}
+
+void
+KernelBuilder::movf(Reg d, double v)
+{
+    movi(d, static_cast<std::int64_t>(std::bit_cast<std::uint64_t>(v)));
+}
+
+void
+KernelBuilder::mov(Reg d, Reg a)
+{
+    emitUnary(Opcode::MOV, d, a);
+}
+
+void
+KernelBuilder::s2r(Reg d, SpecialReg sr)
+{
+    Instruction in = make(Opcode::S2R);
+    in.dst = d;
+    in.imm = static_cast<std::int64_t>(sr);
+    emit(in);
+}
+
+void
+KernelBuilder::ldparam(Reg d, int index)
+{
+    Instruction in = make(Opcode::LDPARAM);
+    in.dst = d;
+    in.imm = index;
+    emit(in);
+}
+
+void KernelBuilder::i2f(Reg d, Reg a) { emitUnary(Opcode::I2F, d, a); }
+void KernelBuilder::f2i(Reg d, Reg a) { emitUnary(Opcode::F2I, d, a); }
+
+void KernelBuilder::iadd(Reg d, Reg a, Reg b) { emitAlu(Opcode::IADD, d, a, b); }
+void KernelBuilder::iaddi(Reg d, Reg a, std::int64_t v) { emitAluImm(Opcode::IADD, d, a, v); }
+void KernelBuilder::isub(Reg d, Reg a, Reg b) { emitAlu(Opcode::ISUB, d, a, b); }
+void KernelBuilder::isubi(Reg d, Reg a, std::int64_t v) { emitAluImm(Opcode::ISUB, d, a, v); }
+void KernelBuilder::imul(Reg d, Reg a, Reg b) { emitAlu(Opcode::IMUL, d, a, b); }
+void KernelBuilder::imuli(Reg d, Reg a, std::int64_t v) { emitAluImm(Opcode::IMUL, d, a, v); }
+void KernelBuilder::imin(Reg d, Reg a, Reg b) { emitAlu(Opcode::IMIN, d, a, b); }
+void KernelBuilder::imax(Reg d, Reg a, Reg b) { emitAlu(Opcode::IMAX, d, a, b); }
+void KernelBuilder::and_(Reg d, Reg a, Reg b) { emitAlu(Opcode::AND, d, a, b); }
+void KernelBuilder::andi(Reg d, Reg a, std::int64_t v) { emitAluImm(Opcode::AND, d, a, v); }
+void KernelBuilder::or_(Reg d, Reg a, Reg b) { emitAlu(Opcode::OR, d, a, b); }
+void KernelBuilder::xor_(Reg d, Reg a, Reg b) { emitAlu(Opcode::XOR, d, a, b); }
+void KernelBuilder::not_(Reg d, Reg a) { emitUnary(Opcode::NOT, d, a); }
+void KernelBuilder::shli(Reg d, Reg a, std::int64_t sh) { emitAluImm(Opcode::SHL, d, a, sh); }
+void KernelBuilder::shri(Reg d, Reg a, std::int64_t sh) { emitAluImm(Opcode::SHR, d, a, sh); }
+
+void
+KernelBuilder::imad(Reg d, Reg a, Reg b, Reg c)
+{
+    Instruction in = make(Opcode::IMAD);
+    in.dst = d;
+    in.srcs[0] = a;
+    in.srcs[1] = b;
+    in.srcs[2] = c;
+    emit(in);
+}
+
+void KernelBuilder::fadd(Reg d, Reg a, Reg b) { emitAlu(Opcode::FADD, d, a, b); }
+void KernelBuilder::fsub(Reg d, Reg a, Reg b) { emitAlu(Opcode::FSUB, d, a, b); }
+void KernelBuilder::fmul(Reg d, Reg a, Reg b) { emitAlu(Opcode::FMUL, d, a, b); }
+void KernelBuilder::fmin(Reg d, Reg a, Reg b) { emitAlu(Opcode::FMIN, d, a, b); }
+void KernelBuilder::fmax(Reg d, Reg a, Reg b) { emitAlu(Opcode::FMAX, d, a, b); }
+
+void
+KernelBuilder::fmuli(Reg d, Reg a, double imm)
+{
+    emitAluImm(Opcode::FMUL, d, a,
+               static_cast<std::int64_t>(std::bit_cast<std::uint64_t>(imm)));
+}
+
+void
+KernelBuilder::faddi(Reg d, Reg a, double imm)
+{
+    emitAluImm(Opcode::FADD, d, a,
+               static_cast<std::int64_t>(std::bit_cast<std::uint64_t>(imm)));
+}
+
+void
+KernelBuilder::ffma(Reg d, Reg a, Reg b, Reg c)
+{
+    Instruction in = make(Opcode::FFMA);
+    in.dst = d;
+    in.srcs[0] = a;
+    in.srcs[1] = b;
+    in.srcs[2] = c;
+    emit(in);
+}
+
+void KernelBuilder::frcp(Reg d, Reg a) { emitUnary(Opcode::FRCP, d, a); }
+void KernelBuilder::frsq(Reg d, Reg a) { emitUnary(Opcode::FRSQ, d, a); }
+void KernelBuilder::fsqrt(Reg d, Reg a) { emitUnary(Opcode::FSQRT, d, a); }
+void KernelBuilder::fsin(Reg d, Reg a) { emitUnary(Opcode::FSIN, d, a); }
+void KernelBuilder::fcos(Reg d, Reg a) { emitUnary(Opcode::FCOS, d, a); }
+void KernelBuilder::fexp2(Reg d, Reg a) { emitUnary(Opcode::FEXP2, d, a); }
+void KernelBuilder::flog2(Reg d, Reg a) { emitUnary(Opcode::FLOG2, d, a); }
+void KernelBuilder::fdiv(Reg d, Reg a, Reg b) { emitAlu(Opcode::FDIV, d, a, b); }
+
+void
+KernelBuilder::setp(PredReg pd, Cmp c, Reg a, Reg b, bool fp)
+{
+    Instruction in = make(Opcode::SETP);
+    in.predDst = pd;
+    in.cmp = c;
+    in.fcmp = fp;
+    in.srcs[0] = a;
+    in.srcs[1] = b;
+    emit(in);
+}
+
+void
+KernelBuilder::setpi(PredReg pd, Cmp c, Reg a, std::int64_t imm)
+{
+    Instruction in = make(Opcode::SETP);
+    in.predDst = pd;
+    in.cmp = c;
+    in.srcs[0] = a;
+    in.imm = imm;
+    in.useImm = true;
+    emit(in);
+}
+
+void
+KernelBuilder::psetp(PredReg pd, PLogic op, PredReg pa, PredReg pb)
+{
+    Instruction in = make(Opcode::PSETP);
+    in.predDst = pd;
+    in.plogic = op;
+    in.predA = pa;
+    in.predB = pb;
+    emit(in);
+}
+
+void
+KernelBuilder::sel(Reg d, Reg a, Reg b, PredReg selp)
+{
+    Instruction in = make(Opcode::SEL);
+    in.dst = d;
+    in.srcs[0] = a;
+    in.srcs[1] = b;
+    in.predA = selp;
+    emit(in);
+}
+
+void
+KernelBuilder::emitBranch(Opcode op, Label l)
+{
+    GEX_ASSERT(l >= 0 && static_cast<size_t>(l) < labelPc_.size());
+    Instruction in = make(op);
+    int pc = labelPc_[static_cast<size_t>(l)];
+    if (pc >= 0) {
+        in.target = pc;
+    } else {
+        fixups_.emplace_back(insts_.size(), l);
+    }
+    emit(in);
+}
+
+void KernelBuilder::bra(Label l) { emitBranch(Opcode::BRA, l); }
+void KernelBuilder::ssy(Label l) { emitBranch(Opcode::SSY, l); }
+void KernelBuilder::join() { emit(make(Opcode::JOIN)); }
+void KernelBuilder::bar() { emit(make(Opcode::BAR)); }
+void KernelBuilder::exit() { emit(make(Opcode::EXIT)); }
+void KernelBuilder::membar() { emit(make(Opcode::MEMBAR)); }
+void KernelBuilder::nop() { emit(make(Opcode::NOP)); }
+
+void
+KernelBuilder::ldGlobal(Reg d, Reg base, std::int64_t off)
+{
+    Instruction in = make(Opcode::LD_GLOBAL);
+    in.dst = d;
+    in.srcs[0] = base;
+    in.imm = off;
+    emit(in);
+}
+
+void
+KernelBuilder::stGlobal(Reg base, std::int64_t off, Reg val)
+{
+    Instruction in = make(Opcode::ST_GLOBAL);
+    in.srcs[0] = base;
+    in.srcs[1] = val;
+    in.imm = off;
+    emit(in);
+}
+
+void
+KernelBuilder::ldShared(Reg d, Reg base, std::int64_t off)
+{
+    Instruction in = make(Opcode::LD_SHARED);
+    in.dst = d;
+    in.srcs[0] = base;
+    in.imm = off;
+    emit(in);
+}
+
+void
+KernelBuilder::stShared(Reg base, std::int64_t off, Reg val)
+{
+    Instruction in = make(Opcode::ST_SHARED);
+    in.srcs[0] = base;
+    in.srcs[1] = val;
+    in.imm = off;
+    emit(in);
+}
+
+namespace {
+isa::Instruction
+makeAtom(Opcode op, Reg d, Reg addr, Reg val, PredReg pred, bool neg)
+{
+    Instruction in;
+    in.op = op;
+    in.pred = pred;
+    in.predNeg = neg;
+    in.dst = d;
+    in.srcs[0] = addr;
+    in.srcs[1] = val;
+    return in;
+}
+} // namespace
+
+void
+KernelBuilder::atomAdd(Reg d, Reg addr, Reg val)
+{
+    emit(makeAtom(Opcode::ATOM_ADD, d, addr, val, guardPred_, guardNeg_));
+}
+
+void
+KernelBuilder::atomMin(Reg d, Reg addr, Reg val)
+{
+    emit(makeAtom(Opcode::ATOM_MIN, d, addr, val, guardPred_, guardNeg_));
+}
+
+void
+KernelBuilder::atomMax(Reg d, Reg addr, Reg val)
+{
+    emit(makeAtom(Opcode::ATOM_MAX, d, addr, val, guardPred_, guardNeg_));
+}
+
+void
+KernelBuilder::atomExch(Reg d, Reg addr, Reg val)
+{
+    emit(makeAtom(Opcode::ATOM_EXCH, d, addr, val, guardPred_, guardNeg_));
+}
+
+void
+KernelBuilder::atomCas(Reg d, Reg addr, Reg cmp, Reg swap)
+{
+    Instruction in = make(Opcode::ATOM_CAS);
+    in.dst = d;
+    in.srcs[0] = addr;
+    in.srcs[1] = cmp;
+    in.srcs[2] = swap;
+    emit(in);
+}
+
+void
+KernelBuilder::alloc(Reg d, Reg size)
+{
+    Instruction in = make(Opcode::ALLOC);
+    in.dst = d;
+    in.srcs[0] = size;
+    emit(in);
+}
+
+isa::Program
+KernelBuilder::build()
+{
+    for (const auto &[pc, l] : fixups_) {
+        int t = labelPc_[static_cast<size_t>(l)];
+        if (t < 0)
+            fatal("kernel '%s': label %d never bound", name_.c_str(), l);
+        insts_[pc].target = t;
+    }
+    fixups_.clear();
+
+    int regs = std::max(maxReg_ + 1, minRegs_);
+    if (regs <= 0)
+        regs = 1;
+    isa::Program prog(name_, insts_, regs, sharedBytes_, numParams_);
+    prog.validate();
+    return prog;
+}
+
+} // namespace gex::kasm

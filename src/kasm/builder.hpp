@@ -1,0 +1,175 @@
+/**
+ * @file
+ * KernelBuilder: a programmatic assembler. Workload generators use it to
+ * emit ISA programs with labels, forward references and guard
+ * predicates, replacing the paper's NVCC+LLVM compilation flow.
+ */
+
+#ifndef GEX_KASM_BUILDER_HPP
+#define GEX_KASM_BUILDER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace gex::kasm {
+
+using isa::Cmp;
+using isa::Opcode;
+using isa::PLogic;
+using isa::PredReg;
+using isa::Reg;
+using isa::SpecialReg;
+
+/**
+ * Builds an isa::Program instruction by instruction.
+ *
+ * Labels are created with label() and placed with bind(); branches may
+ * reference labels before they are bound (patched in build()). A guard
+ * predicate set with guard() applies to every subsequently emitted
+ * instruction until clearGuard().
+ */
+class KernelBuilder
+{
+  public:
+    using Label = int;
+
+    explicit KernelBuilder(std::string name) : name_(std::move(name)) {}
+
+    /** @name Labels and guards
+     *  @{ */
+    Label label();
+    void bind(Label l);
+    void guard(PredReg p, bool negate = false);
+    void clearGuard();
+    /** @} */
+
+    /** @name Moves, conversions, special registers
+     *  @{ */
+    void movi(Reg d, std::int64_t v);
+    void movf(Reg d, double v);
+    void mov(Reg d, Reg a);
+    void s2r(Reg d, SpecialReg sr);
+    void ldparam(Reg d, int index);
+    void i2f(Reg d, Reg a);
+    void f2i(Reg d, Reg a);
+    /** @} */
+
+    /** @name Integer and logical ALU
+     *  @{ */
+    void iadd(Reg d, Reg a, Reg b);
+    void iaddi(Reg d, Reg a, std::int64_t imm);
+    void isub(Reg d, Reg a, Reg b);
+    void isubi(Reg d, Reg a, std::int64_t imm);
+    void imul(Reg d, Reg a, Reg b);
+    void imuli(Reg d, Reg a, std::int64_t imm);
+    void imad(Reg d, Reg a, Reg b, Reg c);
+    void imin(Reg d, Reg a, Reg b);
+    void imax(Reg d, Reg a, Reg b);
+    void and_(Reg d, Reg a, Reg b);
+    void andi(Reg d, Reg a, std::int64_t imm);
+    void or_(Reg d, Reg a, Reg b);
+    void xor_(Reg d, Reg a, Reg b);
+    void not_(Reg d, Reg a);
+    void shli(Reg d, Reg a, std::int64_t sh);
+    void shri(Reg d, Reg a, std::int64_t sh);
+    /** @} */
+
+    /** @name Floating point (math pipes) and SFU
+     *  @{ */
+    void fadd(Reg d, Reg a, Reg b);
+    void fsub(Reg d, Reg a, Reg b);
+    void fmul(Reg d, Reg a, Reg b);
+    void fmuli(Reg d, Reg a, double imm);
+    void faddi(Reg d, Reg a, double imm);
+    void ffma(Reg d, Reg a, Reg b, Reg c);
+    void fmin(Reg d, Reg a, Reg b);
+    void fmax(Reg d, Reg a, Reg b);
+    void frcp(Reg d, Reg a);
+    void frsq(Reg d, Reg a);
+    void fsqrt(Reg d, Reg a);
+    void fsin(Reg d, Reg a);
+    void fcos(Reg d, Reg a);
+    void fexp2(Reg d, Reg a);
+    void flog2(Reg d, Reg a);
+    void fdiv(Reg d, Reg a, Reg b);
+    /** @} */
+
+    /** @name Predicates and select
+     *  @{ */
+    void setp(PredReg pd, Cmp c, Reg a, Reg b, bool fp = false);
+    void setpi(PredReg pd, Cmp c, Reg a, std::int64_t imm);
+    void psetp(PredReg pd, PLogic op, PredReg pa, PredReg pb);
+    void sel(Reg d, Reg a, Reg b, PredReg selp);
+    /** @} */
+
+    /** @name Control flow
+     *  @{ */
+    void bra(Label l);
+    void ssy(Label l);
+    void join();
+    void bar();
+    void exit();
+    void membar();
+    void nop();
+    /** @} */
+
+    /** @name Memory and allocation
+     *  @{ */
+    void ldGlobal(Reg d, Reg base, std::int64_t off = 0);
+    void stGlobal(Reg base, std::int64_t off, Reg val);
+    void ldShared(Reg d, Reg base, std::int64_t off = 0);
+    void stShared(Reg base, std::int64_t off, Reg val);
+    void atomAdd(Reg d, Reg addr, Reg val);
+    void atomMin(Reg d, Reg addr, Reg val);
+    void atomMax(Reg d, Reg addr, Reg val);
+    void atomExch(Reg d, Reg addr, Reg val);
+    void atomCas(Reg d, Reg addr, Reg cmp, Reg swap);
+    void alloc(Reg d, Reg size);
+    /** @} */
+
+    /** Static shared memory used per thread block. */
+    void setSharedBytes(std::uint32_t bytes) { sharedBytes_ = bytes; }
+    /** Number of kernel parameters (for validation of LDPARAM). */
+    void setNumParams(int n) { numParams_ = n; }
+    /**
+     * Force at least this many registers per thread: models register
+     * pressure beyond the architecturally referenced registers (used by
+     * the lbm-like kernel to cap occupancy as in the paper).
+     */
+    void setMinRegs(int n) { minRegs_ = n; }
+
+    /** Raw emission escape hatch (used by tests). */
+    void emit(const isa::Instruction &inst);
+
+    /** Number of instructions emitted so far. */
+    size_t size() const { return insts_.size(); }
+
+    /** Finalize: patch labels, compute register count, validate. */
+    isa::Program build();
+
+  private:
+    isa::Instruction make(Opcode op);
+    void emitAlu(Opcode op, Reg d, Reg a, Reg b);
+    void emitAluImm(Opcode op, Reg d, Reg a, std::int64_t imm);
+    void emitUnary(Opcode op, Reg d, Reg a);
+    void emitBranch(Opcode op, Label l);
+    void trackReg(Reg r);
+
+    std::string name_;
+    std::vector<isa::Instruction> insts_;
+    std::vector<int> labelPc_;            // -1 until bound
+    std::vector<std::pair<size_t, Label>> fixups_;
+    PredReg guardPred_ = isa::kPredTrue;
+    bool guardNeg_ = false;
+    int maxReg_ = -1;
+    int minRegs_ = 0;
+    std::uint32_t sharedBytes_ = 0;
+    int numParams_ = 0;
+};
+
+} // namespace gex::kasm
+
+#endif // GEX_KASM_BUILDER_HPP

@@ -1,0 +1,127 @@
+#include "kasm/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace gex::kasm {
+
+namespace {
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '%';
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &src)
+{
+    std::vector<Token> toks;
+    int line = 1;
+    size_t i = 0;
+    const size_t n = src.size();
+
+    auto push = [&](TokKind k) {
+        Token t;
+        t.kind = k;
+        t.line = line;
+        toks.push_back(t);
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '#' || (c == '/' && i + 1 < n && src[i + 1] == '/')) {
+            while (i < n && src[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '\n') {
+            if (!toks.empty() && toks.back().kind != TokKind::Newline)
+                push(TokKind::Newline);
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        switch (c) {
+          case ',': push(TokKind::Comma); ++i; continue;
+          case '[': push(TokKind::LBracket); ++i; continue;
+          case ']': push(TokKind::RBracket); ++i; continue;
+          case '+': push(TokKind::Plus); ++i; continue;
+          case ':': push(TokKind::Colon); ++i; continue;
+          case '@': push(TokKind::At); ++i; continue;
+          case '!': push(TokKind::Bang); ++i; continue;
+          default: break;
+        }
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+            size_t start = i;
+            if (c == '-')
+                ++i;
+            if (i >= n || !std::isdigit(static_cast<unsigned char>(src[i]))) {
+                // A lone '-' acts as a minus sign token (offsets).
+                Token t;
+                t.kind = TokKind::Minus;
+                t.line = line;
+                toks.push_back(t);
+                continue;
+            }
+            bool is_float = false;
+            bool is_hex = false;
+            if (src[i] == '0' && i + 1 < n &&
+                (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+                is_hex = true;
+                i += 2;
+                while (i < n &&
+                       std::isxdigit(static_cast<unsigned char>(src[i])))
+                    ++i;
+            } else {
+                while (i < n &&
+                       (std::isdigit(static_cast<unsigned char>(src[i])) ||
+                        src[i] == '.' || src[i] == 'e' || src[i] == 'E' ||
+                        ((src[i] == '-' || src[i] == '+') && i > start &&
+                         (src[i - 1] == 'e' || src[i - 1] == 'E')))) {
+                    if (src[i] == '.' || src[i] == 'e' || src[i] == 'E')
+                        is_float = true;
+                    ++i;
+                }
+            }
+            std::string text = src.substr(start, i - start);
+            Token t;
+            t.kind = TokKind::Number;
+            t.line = line;
+            t.text = text;
+            if (is_float) {
+                t.isFloat = true;
+                t.fval = std::strtod(text.c_str(), nullptr);
+            } else {
+                t.ival = std::strtoll(text.c_str(), nullptr, is_hex ? 16 : 10);
+            }
+            toks.push_back(t);
+            continue;
+        }
+        if (identChar(c)) {
+            size_t start = i;
+            while (i < n && identChar(src[i]))
+                ++i;
+            Token t;
+            t.kind = TokKind::Ident;
+            t.line = line;
+            t.text = src.substr(start, i - start);
+            toks.push_back(t);
+            continue;
+        }
+        fatal("kasm lexer: unexpected character '%c' at line %d", c, line);
+    }
+    push(TokKind::End);
+    return toks;
+}
+
+} // namespace gex::kasm

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tokenizer for the .kasm assembly text format.
+ */
+
+#ifndef GEX_KASM_LEXER_HPP
+#define GEX_KASM_LEXER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gex::kasm {
+
+enum class TokKind {
+    Ident,      ///< mnemonics, labels, directives (.regs), %special
+    Number,     ///< integer (decimal/hex) or floating point
+    Comma,
+    LBracket,
+    RBracket,
+    Plus,
+    Minus,
+    Colon,
+    At,
+    Bang,
+    Newline,
+    End,
+};
+
+struct Token {
+    TokKind kind;
+    std::string text;    ///< identifier text
+    std::int64_t ival = 0;
+    double fval = 0.0;
+    bool isFloat = false;
+    int line = 0;
+};
+
+/**
+ * Tokenize a full source string. Comments start with '#' or "//" and
+ * run to end of line. Newlines are significant (statement separators).
+ * Throws via fatal() on malformed input.
+ */
+std::vector<Token> lex(const std::string &src);
+
+} // namespace gex::kasm
+
+#endif // GEX_KASM_LEXER_HPP

@@ -1,0 +1,452 @@
+#include "kasm/parser.hpp"
+
+#include <bit>
+#include <map>
+
+#include "common/log.hpp"
+#include "kasm/builder.hpp"
+#include "kasm/lexer.hpp"
+
+namespace gex::kasm {
+
+using isa::Cmp;
+using isa::Instruction;
+using isa::kPredTrue;
+using isa::kRegZero;
+using isa::Opcode;
+using isa::PLogic;
+using isa::PredReg;
+using isa::Reg;
+using isa::SpecialReg;
+
+namespace {
+
+/** Token cursor plus the builder/label state for one assembly unit. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &src)
+        : toks_(lex(src)), builder_("anonymous")
+    {}
+
+    isa::Program run();
+
+  private:
+    const Token &peek() const { return toks_[pos_]; }
+    const Token &get() { return toks_[pos_++]; }
+    bool
+    accept(TokKind k)
+    {
+        if (peek().kind == k) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+    void
+    expect(TokKind k, const char *what)
+    {
+        if (!accept(k))
+            fatal("kasm line %d: expected %s", peek().line, what);
+    }
+
+    void parseLine();
+    void parseDirective(const std::string &name);
+    void parseInstruction(const std::string &mnemonic);
+
+    Reg parseReg();
+    PredReg parsePred();
+    KernelBuilder::Label labelFor(const std::string &name);
+    std::int64_t parseInt(const char *what);
+
+    std::vector<Token> toks_;
+    size_t pos_ = 0;
+    KernelBuilder builder_;
+    PredReg guardPred_ = kPredTrue;
+    bool guardNeg_ = false;
+    std::string kernelName_ = "anonymous";
+    int minRegs_ = 0;
+    std::uint32_t sharedBytes_ = 0;
+    int numParams_ = 0;
+    std::map<std::string, KernelBuilder::Label> labels_;
+};
+
+Reg
+Parser::parseReg()
+{
+    const Token &t = get();
+    if (t.kind != TokKind::Ident)
+        fatal("kasm line %d: expected register", t.line);
+    if (t.text == "rz")
+        return kRegZero;
+    if (t.text.size() >= 2 && t.text[0] == 'r') {
+        int idx = std::atoi(t.text.c_str() + 1);
+        if (idx >= 0 && idx < isa::kMaxRegs)
+            return static_cast<Reg>(idx);
+    }
+    fatal("kasm line %d: bad register '%s'", t.line, t.text.c_str());
+}
+
+PredReg
+Parser::parsePred()
+{
+    const Token &t = get();
+    if (t.kind != TokKind::Ident)
+        fatal("kasm line %d: expected predicate", t.line);
+    if (t.text == "pt")
+        return kPredTrue;
+    if (t.text.size() >= 2 && t.text[0] == 'p') {
+        int idx = std::atoi(t.text.c_str() + 1);
+        if (idx >= 0 && idx < isa::kNumPreds)
+            return static_cast<PredReg>(idx);
+    }
+    fatal("kasm line %d: bad predicate '%s'", t.line, t.text.c_str());
+}
+
+KernelBuilder::Label
+Parser::labelFor(const std::string &name)
+{
+    auto it = labels_.find(name);
+    if (it != labels_.end())
+        return it->second;
+    auto l = builder_.label();
+    labels_.emplace(name, l);
+    return l;
+}
+
+std::int64_t
+Parser::parseInt(const char *what)
+{
+    bool neg = accept(TokKind::Minus);
+    const Token &t = get();
+    if (t.kind != TokKind::Number || t.isFloat)
+        fatal("kasm line %d: expected integer %s", t.line, what);
+    return neg ? -t.ival : t.ival;
+}
+
+void
+Parser::parseDirective(const std::string &name)
+{
+    if (name == ".kernel") {
+        const Token &t = get();
+        if (t.kind != TokKind::Ident)
+            fatal("kasm line %d: expected kernel name", t.line);
+        kernelName_ = t.text;
+    } else if (name == ".regs") {
+        minRegs_ = static_cast<int>(parseInt("register count"));
+    } else if (name == ".shared") {
+        sharedBytes_ = static_cast<std::uint32_t>(parseInt("shared bytes"));
+    } else if (name == ".params") {
+        numParams_ = static_cast<int>(parseInt("param count"));
+    } else {
+        fatal("kasm: unknown directive '%s'", name.c_str());
+    }
+}
+
+Cmp
+cmpFromString(const std::string &s, int line)
+{
+    if (s == "eq") return Cmp::EQ;
+    if (s == "ne") return Cmp::NE;
+    if (s == "lt") return Cmp::LT;
+    if (s == "le") return Cmp::LE;
+    if (s == "gt") return Cmp::GT;
+    if (s == "ge") return Cmp::GE;
+    fatal("kasm line %d: bad comparison '%s'", line, s.c_str());
+}
+
+void
+Parser::parseInstruction(const std::string &mnemonic)
+{
+    int line = toks_[pos_ ? pos_ - 1 : 0].line;
+    Instruction in;
+    in.pred = guardPred_;
+    in.predNeg = guardNeg_;
+
+    // setp.i.lt / setp.f.ge
+    if (mnemonic.rfind("setp.", 0) == 0) {
+        std::string rest = mnemonic.substr(5);
+        auto dot = rest.find('.');
+        if (dot == std::string::npos)
+            fatal("kasm line %d: setp needs .i/.f and condition", line);
+        in.op = Opcode::SETP;
+        in.fcmp = rest.substr(0, dot) == "f";
+        in.cmp = cmpFromString(rest.substr(dot + 1), line);
+        in.predDst = parsePred();
+        expect(TokKind::Comma, "','");
+        in.srcs[0] = parseReg();
+        expect(TokKind::Comma, "','");
+        if (peek().kind == TokKind::Number || peek().kind == TokKind::Minus) {
+            in.imm = parseInt("setp immediate");
+            in.useImm = true;
+        } else {
+            in.srcs[1] = parseReg();
+        }
+        builder_.emit(in);
+        return;
+    }
+
+    // psetp.and / .or / .xor / .not
+    if (mnemonic.rfind("psetp.", 0) == 0) {
+        std::string op = mnemonic.substr(6);
+        in.op = Opcode::PSETP;
+        if (op == "and") in.plogic = PLogic::And;
+        else if (op == "or") in.plogic = PLogic::Or;
+        else if (op == "xor") in.plogic = PLogic::Xor;
+        else if (op == "not") in.plogic = PLogic::Not;
+        else fatal("kasm line %d: bad psetp op '%s'", line, op.c_str());
+        in.predDst = parsePred();
+        expect(TokKind::Comma, "','");
+        in.predA = parsePred();
+        if (in.plogic != PLogic::Not) {
+            expect(TokKind::Comma, "','");
+            in.predB = parsePred();
+        }
+        builder_.emit(in);
+        return;
+    }
+
+    Opcode op = isa::opcodeFromName(mnemonic);
+    if (op == Opcode::NumOpcodes)
+        fatal("kasm line %d: unknown mnemonic '%s'", line, mnemonic.c_str());
+    in.op = op;
+    const auto &t = isa::traits(op);
+
+    auto parse_mem_operand = [&]() {
+        expect(TokKind::LBracket, "'['");
+        in.srcs[0] = parseReg();
+        if (accept(TokKind::Plus))
+            in.imm = parseInt("offset");
+        else if (peek().kind == TokKind::Minus)
+            in.imm = parseInt("offset");
+        expect(TokKind::RBracket, "']'");
+    };
+
+    switch (op) {
+      case Opcode::MOVI: {
+        in.dst = parseReg();
+        expect(TokKind::Comma, "','");
+        bool neg = accept(TokKind::Minus);
+        const Token &v = get();
+        if (v.kind != TokKind::Number)
+            fatal("kasm line %d: movi needs an immediate", line);
+        if (v.isFloat) {
+            double d = neg ? -v.fval : v.fval;
+            in.imm = static_cast<std::int64_t>(std::bit_cast<std::uint64_t>(d));
+        } else {
+            in.imm = neg ? -v.ival : v.ival;
+        }
+        break;
+      }
+      case Opcode::S2R: {
+        in.dst = parseReg();
+        expect(TokKind::Comma, "','");
+        const Token &v = get();
+        SpecialReg sr = isa::specialRegFromName(v.text);
+        if (sr == SpecialReg::NumSpecialRegs)
+            fatal("kasm line %d: bad special register '%s'", line,
+                  v.text.c_str());
+        in.imm = static_cast<std::int64_t>(sr);
+        break;
+      }
+      case Opcode::LDPARAM: {
+        in.dst = parseReg();
+        expect(TokKind::Comma, "','");
+        const Token &v = get();
+        if (v.kind == TokKind::Ident && v.text == "param") {
+            expect(TokKind::LBracket, "'['");
+            in.imm = parseInt("param index");
+            expect(TokKind::RBracket, "']'");
+        } else if (v.kind == TokKind::Number && !v.isFloat) {
+            in.imm = v.ival;
+        } else {
+            fatal("kasm line %d: ldparam needs param[N] or N", line);
+        }
+        break;
+      }
+      case Opcode::SEL: {
+        in.dst = parseReg();
+        expect(TokKind::Comma, "','");
+        in.srcs[0] = parseReg();
+        expect(TokKind::Comma, "','");
+        in.srcs[1] = parseReg();
+        expect(TokKind::Comma, "','");
+        in.predA = parsePred();
+        break;
+      }
+      case Opcode::BRA:
+      case Opcode::SSY: {
+        const Token &v = get();
+        if (v.kind != TokKind::Ident)
+            fatal("kasm line %d: branch needs a label", line);
+        builder_.emit(in); // placeholder emit replaced below
+        // Rewind: branches need builder label fixups, so emit through
+        // the builder's branch API instead. Remove the placeholder.
+        fatal("kasm internal: unreachable");
+      }
+      case Opcode::LD_GLOBAL:
+      case Opcode::LD_SHARED: {
+        in.dst = parseReg();
+        expect(TokKind::Comma, "','");
+        parse_mem_operand();
+        break;
+      }
+      case Opcode::ST_GLOBAL:
+      case Opcode::ST_SHARED: {
+        parse_mem_operand();
+        expect(TokKind::Comma, "','");
+        in.srcs[1] = parseReg();
+        break;
+      }
+      case Opcode::ATOM_ADD:
+      case Opcode::ATOM_MIN:
+      case Opcode::ATOM_MAX:
+      case Opcode::ATOM_EXCH: {
+        in.dst = parseReg();
+        expect(TokKind::Comma, "','");
+        parse_mem_operand();
+        expect(TokKind::Comma, "','");
+        in.srcs[1] = parseReg();
+        break;
+      }
+      case Opcode::ATOM_CAS: {
+        in.dst = parseReg();
+        expect(TokKind::Comma, "','");
+        parse_mem_operand();
+        expect(TokKind::Comma, "','");
+        in.srcs[1] = parseReg();
+        expect(TokKind::Comma, "','");
+        in.srcs[2] = parseReg();
+        break;
+      }
+      case Opcode::ALLOC: {
+        in.dst = parseReg();
+        expect(TokKind::Comma, "','");
+        in.srcs[0] = parseReg();
+        break;
+      }
+      case Opcode::JOIN:
+      case Opcode::BAR:
+      case Opcode::EXIT:
+      case Opcode::MEMBAR:
+      case Opcode::NOP:
+        break;
+      default: {
+        // Generic ALU forms: dst, src0 [, src1|imm [, src2]]
+        if (t.writesDst) {
+            in.dst = parseReg();
+            if (t.numSrcs > 0)
+                expect(TokKind::Comma, "','");
+        }
+        for (int i = 0; i < t.numSrcs; ++i) {
+            if (i > 0)
+                expect(TokKind::Comma, "','");
+            if (i == 1 && (peek().kind == TokKind::Number ||
+                           peek().kind == TokKind::Minus)) {
+                bool neg = accept(TokKind::Minus);
+                const Token &v = get();
+                if (v.isFloat) {
+                    double d = neg ? -v.fval : v.fval;
+                    in.imm = static_cast<std::int64_t>(
+                        std::bit_cast<std::uint64_t>(d));
+                } else {
+                    in.imm = neg ? -v.ival : v.ival;
+                }
+                in.useImm = true;
+            } else {
+                in.srcs[i] = parseReg();
+            }
+        }
+        break;
+      }
+    }
+    builder_.emit(in);
+}
+
+void
+Parser::parseLine()
+{
+    // Optional guard predicate.
+    PredReg guard = kPredTrue;
+    bool guard_neg = false;
+    bool has_guard = false;
+    if (accept(TokKind::At)) {
+        guard_neg = accept(TokKind::Bang);
+        guard = parsePred();
+        has_guard = true;
+    }
+
+    const Token &t = get();
+    if (t.kind != TokKind::Ident)
+        fatal("kasm line %d: expected mnemonic or label", t.line);
+
+    // Label definition?
+    if (!has_guard && peek().kind == TokKind::Colon) {
+        get();
+        builder_.bind(labelFor(t.text));
+        // Allow an instruction on the same line after the label.
+        if (peek().kind != TokKind::Newline && peek().kind != TokKind::End)
+            parseLine();
+        return;
+    }
+
+    if (!has_guard && !t.text.empty() && t.text[0] == '.') {
+        parseDirective(t.text);
+        return;
+    }
+
+    if (has_guard) {
+        builder_.guard(guard, guard_neg);
+        guardPred_ = guard;
+        guardNeg_ = guard_neg;
+    }
+
+    // Branch-family mnemonics route through the builder for label fixups.
+    if (t.text == "bra" || t.text == "ssy") {
+        const Token &v = get();
+        if (v.kind != TokKind::Ident)
+            fatal("kasm line %d: branch needs a label", v.line);
+        if (t.text == "bra")
+            builder_.bra(labelFor(v.text));
+        else
+            builder_.ssy(labelFor(v.text));
+    } else {
+        parseInstruction(t.text);
+    }
+
+    if (has_guard) {
+        builder_.clearGuard();
+        guardPred_ = kPredTrue;
+        guardNeg_ = false;
+    }
+}
+
+isa::Program
+Parser::run()
+{
+    while (peek().kind != TokKind::End) {
+        if (accept(TokKind::Newline))
+            continue;
+        parseLine();
+        if (peek().kind != TokKind::End)
+            expect(TokKind::Newline, "end of line");
+    }
+    builder_.setMinRegs(minRegs_);
+    builder_.setSharedBytes(sharedBytes_);
+    builder_.setNumParams(numParams_);
+    isa::Program prog = builder_.build();
+    // Re-wrap with the declared kernel name.
+    return isa::Program(kernelName_, prog.insts(), prog.regsPerThread(),
+                        prog.sharedBytes(), prog.numParams());
+}
+
+} // namespace
+
+isa::Program
+assemble(const std::string &src)
+{
+    Parser p(src);
+    return p.run();
+}
+
+} // namespace gex::kasm

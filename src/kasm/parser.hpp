@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Parser for the .kasm assembly text format: turns source text into an
+ * isa::Program by driving a KernelBuilder.
+ *
+ * Grammar (per line):
+ *
+ *     .kernel NAME | .regs N | .shared N | .params N
+ *     LABEL:
+ *     [@[!]pN] MNEMONIC operands...
+ *
+ * Operand syntax: rN / rz (GPRs), pN / pt (predicates), %tid.x etc.
+ * (special registers), integers / floats (immediates), [rN+OFF]
+ * (memory), LABEL (branch targets), param[N].
+ */
+
+#ifndef GEX_KASM_PARSER_HPP
+#define GEX_KASM_PARSER_HPP
+
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace gex::kasm {
+
+/** Assemble source text into a validated Program. fatal() on errors. */
+isa::Program assemble(const std::string &src);
+
+} // namespace gex::kasm
+
+#endif // GEX_KASM_PARSER_HPP

@@ -1,0 +1,166 @@
+#include "mem/cache.hpp"
+
+namespace gex::mem {
+
+Cache::Cache(const CacheConfig &cfg)
+    : cfg_(cfg), numSets_(cfg.sizeBytes / (kLineSize * cfg.ways)),
+      ways_(numSets_ * cfg.ways), port_(cfg.ports)
+{
+    GEX_ASSERT(numSets_ > 0, "cache %s too small", cfg.name.c_str());
+}
+
+std::uint64_t
+Cache::setIndex(Addr line) const
+{
+    return (line / kLineSize) % numSets_;
+}
+
+int
+Cache::findWay(std::uint64_t set, Addr line) const
+{
+    const Way *base = &ways_[set * cfg_.ways];
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w)
+        if (base[w].tag == line)
+            return static_cast<int>(w);
+    return -1;
+}
+
+void
+Cache::touch(std::uint64_t set, int way)
+{
+    ways_[set * cfg_.ways + static_cast<std::uint64_t>(way)].lastUse =
+        ++useClock_;
+}
+
+void
+Cache::insert(std::uint64_t set, Addr line, bool dirty, Cycle now)
+{
+    Way *base = &ways_[set * cfg_.ways];
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 1; w < cfg_.ways; ++w)
+        if (base[w].lastUse < base[victim].lastUse)
+            victim = w;
+    if (base[victim].dirty && base[victim].tag != kBadAddr) {
+        ++writebacks_;
+        if (writeback_)
+            writeback_(base[victim].tag, now);
+    }
+    base[victim].tag = line;
+    base[victim].lastUse = ++useClock_;
+    base[victim].dirty = dirty;
+}
+
+void
+Cache::drainMshrs(Cycle now)
+{
+    while (!pendingHeap_.empty() && pendingHeap_.top().first <= now) {
+        auto [ready, line] = pendingHeap_.top();
+        pendingHeap_.pop();
+        auto it = pendingByLine_.find(line);
+        if (it != pendingByLine_.end() && it->second == ready)
+            pendingByLine_.erase(it);
+    }
+}
+
+Cycle
+Cache::acquireMshr(Addr line, Cycle t, Cycle ready)
+{
+    // Occupancy back-pressure: wait for the earliest completion when
+    // all MSHRs are busy at time t.
+    while (pendingHeap_.size() >= cfg_.mshrs &&
+           pendingHeap_.top().first > t) {
+        ++mshrStalls_;
+        t = pendingHeap_.top().first;
+    }
+    drainMshrs(t);
+    pendingByLine_[line] = ready;
+    pendingHeap_.emplace(ready, line);
+    return t;
+}
+
+Cycle
+Cache::load(Addr line, Cycle now, const FetchFn &fetch)
+{
+    Cycle start = port_.reserve(now);
+    drainMshrs(start);
+
+    std::uint64_t set = setIndex(line);
+    int way = findWay(set, line);
+    // Tags are installed when the miss is issued, so a "hit" may be on
+    // a line whose fill is still in flight: such accesses merge into
+    // the outstanding miss and see its completion time.
+    auto it = pendingByLine_.find(line);
+    if (it != pendingByLine_.end() && it->second > start + cfg_.latency) {
+        ++merges_;
+        if (way >= 0)
+            touch(set, way);
+        return it->second;
+    }
+    if (way >= 0) {
+        ++hits_;
+        touch(set, way);
+        return start + cfg_.latency;
+    }
+
+    ++misses_;
+    // Tag lookup happens before the miss goes below; the fill latency
+    // is covered by the lower level's own latency.
+    Cycle below_start = start + cfg_.latency;
+    Cycle ready = fetch(line, below_start);
+    acquireMshr(line, start, ready);
+    // The victim writeback is charged at miss time, not fill time:
+    // bandwidth reservations must stay (roughly) monotone in time.
+    insert(set, line, false, below_start);
+    return ready;
+}
+
+Cycle
+Cache::store(Addr line, Cycle now, bool *hit_out)
+{
+    Cycle start = port_.reserve(now);
+    ++stores_;
+    std::uint64_t set = setIndex(line);
+    int way = findWay(set, line);
+    if (way >= 0) {
+        touch(set, way);
+        if (cfg_.writeAllocate)
+            ways_[set * cfg_.ways + static_cast<std::uint64_t>(way)]
+                .dirty = true;
+    } else if (cfg_.writeAllocate) {
+        // Full-line warp store: allocate dirty without a fill.
+        insert(set, line, true, start + cfg_.latency);
+    }
+    if (hit_out)
+        *hit_out = way >= 0;
+    return start + cfg_.latency;
+}
+
+bool
+Cache::contains(Addr line) const
+{
+    return findWay(setIndex(line), line) >= 0;
+}
+
+void
+Cache::flush()
+{
+    for (Way &w : ways_)
+        w = Way{};
+    pendingByLine_.clear();
+    pendingHeap_ = {};
+}
+
+void
+Cache::collectStats(StatSet &s) const
+{
+    // add(), not set(): per-SM instances accumulate into one total.
+    const std::string p = cfg_.name + ".";
+    s.add(p + "hits", static_cast<double>(hits_));
+    s.add(p + "misses", static_cast<double>(misses_));
+    s.add(p + "mshr_merges", static_cast<double>(merges_));
+    s.add(p + "stores", static_cast<double>(stores_));
+    s.add(p + "mshr_stalls", static_cast<double>(mshrStalls_));
+    s.add(p + "writebacks", static_cast<double>(writebacks_));
+}
+
+} // namespace gex::mem

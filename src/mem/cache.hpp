@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Set-associative LRU cache with MSHR-based miss tracking, modeled with
+ * timestamp reservations (see mem/port.hpp). Used for both the per-SM
+ * L1 (virtually addressed, paper Table 1) and the shared L2.
+ */
+
+#ifndef GEX_MEM_CACHE_HPP
+#define GEX_MEM_CACHE_HPP
+
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "mem/port.hpp"
+
+namespace gex::mem {
+
+struct CacheConfig {
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t ways = 4;
+    Cycle latency = 40;
+    std::uint32_t mshrs = 32;
+    int ports = 1;
+    /**
+     * Write-allocate + write-back (GPU L2 style): store misses
+     * allocate the line dirty (no fetch: warp stores cover full
+     * lines); dirty evictions invoke the writeback callback. When
+     * false: write-through, no write-allocate (GPU L1 style).
+     */
+    bool writeAllocate = false;
+};
+
+/**
+ * Timing-only cache: tags are tracked for hit/miss decisions, data
+ * lives in the functional memory image. Misses are forwarded to a
+ * lower-level callback; concurrent misses to the same line merge in
+ * the MSHRs; MSHR exhaustion back-pressures accesses in time.
+ */
+class Cache
+{
+  public:
+    /** Lower-level fetch: (line, earliest) -> data-ready cycle. */
+    using FetchFn = std::function<Cycle(Addr, Cycle)>;
+
+    /** Dirty-eviction writeback sink: (line, evict time). */
+    using WritebackFn = std::function<void(Addr, Cycle)>;
+
+    explicit Cache(const CacheConfig &cfg);
+
+    /** Install the writeback sink (write-allocate caches only). */
+    void setWriteback(WritebackFn fn) { writeback_ = std::move(fn); }
+
+    /**
+     * Load @p line at @p now (or later under port/MSHR pressure).
+     * @return cycle at which the data is available to the requester.
+     */
+    Cycle load(Addr line, Cycle now, const FetchFn &fetch);
+
+    /**
+     * Store to @p line (write-through, no write-allocate). Returns the
+     * local acknowledge time; the caller forwards the write traffic to
+     * the next level itself (so it can route it to a bandwidth pipe).
+     * @param hit_out optionally receives whether the line was present.
+     */
+    Cycle store(Addr line, Cycle now, bool *hit_out = nullptr);
+
+    /** Probe without timing side effects (tests/diagnostics). */
+    bool contains(Addr line) const;
+
+    /** Invalidate everything (kernel boundary). */
+    void flush();
+
+    void collectStats(StatSet &s) const;
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t mshrMerges() const { return merges_; }
+
+  private:
+    struct Way {
+        Addr tag = kBadAddr;
+        std::uint64_t lastUse = 0;
+        bool dirty = false;
+    };
+
+    std::uint64_t setIndex(Addr line) const;
+    /** Returns way index of @p line in its set, or -1. */
+    int findWay(std::uint64_t set, Addr line) const;
+    void touch(std::uint64_t set, int way);
+    void insert(std::uint64_t set, Addr line, bool dirty, Cycle now);
+    /** Apply MSHR occupancy pressure; may push @p t forward. */
+    Cycle acquireMshr(Addr line, Cycle t, Cycle ready);
+    void drainMshrs(Cycle now);
+
+    CacheConfig cfg_;
+    std::uint64_t numSets_;
+    std::vector<Way> ways_;  // numSets * cfg.ways
+    Port port_;
+    WritebackFn writeback_;
+    std::uint64_t useClock_ = 0;
+    std::uint64_t writebacks_ = 0;
+
+    // Outstanding misses: per-line ready time for merging plus a heap
+    // for occupancy accounting.
+    std::unordered_map<Addr, Cycle> pendingByLine_;
+    std::priority_queue<std::pair<Cycle, Addr>,
+                        std::vector<std::pair<Cycle, Addr>>,
+                        std::greater<>>
+        pendingHeap_;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t merges_ = 0;
+    std::uint64_t stores_ = 0;
+    std::uint64_t mshrStalls_ = 0;
+};
+
+} // namespace gex::mem
+
+#endif // GEX_MEM_CACHE_HPP

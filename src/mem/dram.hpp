@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Simple DRAM model: fixed access latency plus a shared bandwidth pipe
+ * (paper Table 1: 256 GB/s, 200-cycle latency).
+ */
+
+#ifndef GEX_MEM_DRAM_HPP
+#define GEX_MEM_DRAM_HPP
+
+#include "common/stats.hpp"
+#include "mem/port.hpp"
+
+namespace gex::mem {
+
+class Dram
+{
+  public:
+    Dram(double bytes_per_cycle, Cycle latency)
+        : pipe_(bytes_per_cycle), latency_(latency)
+    {}
+
+    /** Read one cache line; returns data-ready time. */
+    Cycle
+    readLine(Cycle earliest)
+    {
+        ++reads_;
+        return pipe_.transfer(earliest, kLineSize) + latency_;
+    }
+
+    /** Write one cache line; returns completion (for bandwidth only). */
+    Cycle
+    writeLine(Cycle earliest)
+    {
+        ++writes_;
+        return pipe_.transfer(earliest, kLineSize) + latency_;
+    }
+
+    /**
+     * Bulk traffic (context save/restore, page migration fill):
+     * occupies bandwidth; returns completion time.
+     */
+    Cycle
+    bulkTransfer(Cycle earliest, std::uint64_t bytes)
+    {
+        return pipe_.transfer(earliest, bytes) + latency_;
+    }
+
+    std::uint64_t reads() const { return reads_; }
+    std::uint64_t writes() const { return writes_; }
+    std::uint64_t totalBytes() const { return pipe_.totalBytes(); }
+
+    void
+    collectStats(StatSet &s) const
+    {
+        s.set("dram.reads", static_cast<double>(reads_));
+        s.set("dram.writes", static_cast<double>(writes_));
+        s.set("dram.bytes", static_cast<double>(pipe_.totalBytes()));
+    }
+
+  private:
+    BandwidthPipe pipe_;
+    Cycle latency_;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+};
+
+} // namespace gex::mem
+
+#endif // GEX_MEM_DRAM_HPP

@@ -1,0 +1,54 @@
+#include "power/overheads.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+#include "power/sram_model.hpp"
+
+namespace gex::power {
+
+OverheadRow
+operandLogOverheads(std::uint64_t log_bytes,
+                    const GpuAreaPowerBaseline &base)
+{
+    OverheadRow row;
+    row.logBytes = log_bytes;
+
+    const double f = base.controlLogicFactor;
+    double area = SramModel::areaMm2(log_bytes) * f;
+    // Worst case: one log write per cycle at 1 GHz (paper section 5.2).
+    double power_mw = SramModel::totalPowerMw(log_bytes, 1e9) * f;
+
+    row.smAreaPct = 100.0 * area / base.smAreaMm2;
+    row.gpuAreaPct = 100.0 * area * base.numSms / base.gpuAreaMm2;
+    row.smPowerPct = 100.0 * (power_mw / 1000.0) / base.smPowerW;
+    row.gpuPowerPct =
+        100.0 * (power_mw / 1000.0) * base.numSms / base.gpuPowerW;
+    return row;
+}
+
+std::vector<OverheadRow>
+table2(const GpuAreaPowerBaseline &base)
+{
+    std::vector<OverheadRow> rows;
+    for (std::uint64_t kb : {8, 16, 20, 32})
+        rows.push_back(operandLogOverheads(kb * 1024, base));
+    return rows;
+}
+
+std::string
+formatTable2(const std::vector<OverheadRow> &rows)
+{
+    std::ostringstream os;
+    os << "Log Size | SM Area | GPU Area | SM Power | GPU Power\n";
+    for (const auto &r : rows) {
+        os << strprintf("%5llu KB |  %5.2f%% |   %5.2f%% |   %5.2f%% |    "
+                        "%5.2f%%\n",
+                        static_cast<unsigned long long>(r.logBytes / 1024),
+                        r.smAreaPct, r.gpuAreaPct, r.smPowerPct,
+                        r.gpuPowerPct);
+    }
+    return os.str();
+}
+
+} // namespace gex::power

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Operand-log area/power overhead accounting (paper Table 2): the SRAM
+ * model's raw numbers, a 1.5x control-logic factor, and the published
+ * SM/GPU area and power baselines the paper compares against.
+ */
+
+#ifndef GEX_POWER_OVERHEADS_HPP
+#define GEX_POWER_OVERHEADS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gex::power {
+
+/** Published baselines used by the paper (references [40] and [15]). */
+struct GpuAreaPowerBaseline {
+    double smAreaMm2 = 16.0;
+    double gpuAreaMm2 = 561.0;  ///< 16-SM chip
+    double smPowerW = 5.7;
+    double gpuPowerW = 130.0;   ///< chip only
+    int numSms = 16;
+    double controlLogicFactor = 1.5;
+};
+
+/** One Table 2 row. */
+struct OverheadRow {
+    std::uint64_t logBytes = 0;
+    double smAreaPct = 0.0;
+    double gpuAreaPct = 0.0;
+    double smPowerPct = 0.0;
+    double gpuPowerPct = 0.0;
+};
+
+/**
+ * Compute the overhead row for an operand log of @p log_bytes per SM,
+ * assuming the paper's worst case of one log write per cycle at 1 GHz.
+ */
+OverheadRow operandLogOverheads(std::uint64_t log_bytes,
+                                const GpuAreaPowerBaseline &base = {});
+
+/** The full Table 2 (8/16/20/32 KB). */
+std::vector<OverheadRow> table2(const GpuAreaPowerBaseline &base = {});
+
+/** Render rows in the paper's format. */
+std::string formatTable2(const std::vector<OverheadRow> &rows);
+
+} // namespace gex::power
+
+#endif // GEX_POWER_OVERHEADS_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * First-order SRAM area/energy model standing in for CACTI 6.5
+ * (paper section 5.2, Table 2). Linear area/leakage and affine
+ * access-energy coefficients are fit to CACTI-class outputs for small
+ * single-ported SRAM arrays at the 40 nm node — the same node the
+ * paper uses so its published SM/GPU baselines [40][15] apply.
+ */
+
+#ifndef GEX_POWER_SRAM_MODEL_HPP
+#define GEX_POWER_SRAM_MODEL_HPP
+
+#include <cstdint>
+
+namespace gex::power {
+
+/**
+ * Single-ported SRAM at 40 nm. All outputs are for the raw array;
+ * callers apply the paper's 1.5x control-logic factor.
+ */
+class SramModel
+{
+  public:
+    /** Array area in mm^2. */
+    static double
+    areaMm2(std::uint64_t bytes)
+    {
+        double kb = static_cast<double>(bytes) / 1024.0;
+        return kAreaBase + kAreaPerKb * kb;
+    }
+
+    /** Leakage power in mW. */
+    static double
+    leakageMw(std::uint64_t bytes)
+    {
+        double kb = static_cast<double>(bytes) / 1024.0;
+        return kLeakBase + kLeakPerKb * kb;
+    }
+
+    /** Energy of one (full-width) access in pJ. */
+    static double
+    accessEnergyPj(std::uint64_t bytes)
+    {
+        double kb = static_cast<double>(bytes) / 1024.0;
+        return kAccessBase + kAccessPerKb * kb;
+    }
+
+    /**
+     * Total power in mW at @p accesses_per_second (1 GHz worst case:
+     * one write per cycle, the paper's assumption).
+     */
+    static double
+    totalPowerMw(std::uint64_t bytes, double accesses_per_second)
+    {
+        return leakageMw(bytes) +
+               accessEnergyPj(bytes) * accesses_per_second * 1e-9;
+    }
+
+  private:
+    // Fit against CACTI 6.5, 40 nm, single-ported, 128 B-line arrays
+    // in the 8-32 KB range (raw array, no control-logic factor).
+    static constexpr double kAreaBase = 0.0636;     // mm^2
+    static constexpr double kAreaPerKb = 0.005887;  // mm^2 / KB
+    static constexpr double kLeakBase = 29.0 / 1.5; // mW
+    static constexpr double kLeakPerKb = 2.51 / 1.5;
+    static constexpr double kAccessBase = 45.0 / 1.5; // pJ
+    static constexpr double kAccessPerKb = 1.20 / 1.5;
+};
+
+} // namespace gex::power
+
+#endif // GEX_POWER_SRAM_MODEL_HPP

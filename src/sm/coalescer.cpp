@@ -1,0 +1,25 @@
+#include "sm/coalescer.hpp"
+
+#include <algorithm>
+
+namespace gex::sm {
+
+std::vector<Addr>
+coalesce(const std::vector<Addr> &lane_addrs)
+{
+    std::vector<Addr> lines;
+    lines.reserve(lane_addrs.size());
+    for (Addr a : lane_addrs)
+        lines.push_back(lineOf(a));
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    return lines;
+}
+
+std::size_t
+coalescedCount(std::vector<Addr> lane_addrs)
+{
+    return coalesce(lane_addrs).size();
+}
+
+} // namespace gex::sm

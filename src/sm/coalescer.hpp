@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Memory access coalescing (paper Figure 5): one memory request per
+ * unique cache line touched by a warp instruction. Used at trace
+ * generation time; the LSU then charges one translation + one cache
+ * access per generated request.
+ */
+
+#ifndef GEX_SM_COALESCER_HPP
+#define GEX_SM_COALESCER_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gex::sm {
+
+/** Unique, sorted line addresses for a set of per-lane addresses. */
+std::vector<Addr> coalesce(const std::vector<Addr> &lane_addrs);
+
+/** Number of requests @p lane_addrs coalesces to (no allocation). */
+std::size_t coalescedCount(std::vector<Addr> lane_addrs);
+
+} // namespace gex::sm
+
+#endif // GEX_SM_COALESCER_HPP

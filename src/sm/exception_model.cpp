@@ -1,0 +1,88 @@
+#include "sm/exception_model.hpp"
+
+#include "common/log.hpp"
+
+namespace gex::sm {
+
+SchemePolicy
+SchemePolicy::make(gpu::Scheme s)
+{
+    SchemePolicy p;
+    p.kind = s;
+    switch (s) {
+      case gpu::Scheme::StallOnFault:
+        break;
+      case gpu::Scheme::WarpDisableCommit:
+        p.fetchDisableOnGlobalMem = true;
+        p.preemptible = true;
+        break;
+      case gpu::Scheme::WarpDisableLastCheck:
+        p.fetchDisableOnGlobalMem = true;
+        p.reenableAtLastCheck = true;
+        p.preemptible = true;
+        break;
+      case gpu::Scheme::ReplayQueue:
+        p.holdSourcesUntilLastCheck = true;
+        p.preemptible = true;
+        break;
+      case gpu::Scheme::OperandLog:
+        p.usesOperandLog = true;
+        p.preemptible = true;
+        break;
+    }
+    return p;
+}
+
+void
+OperandLog::configure(std::uint32_t total_bytes, int partitions)
+{
+    GEX_ASSERT(partitions > 0);
+    partitionBytes_ = total_bytes / static_cast<std::uint32_t>(partitions);
+    // Guarantee forward progress: every partition fits at least one
+    // store entry (the paper's rationale for the 8 KB minimum log).
+    if (partitionBytes_ < kStoreEntryBytes)
+        partitionBytes_ = kStoreEntryBytes;
+    used_.assign(static_cast<size_t>(partitions), 0);
+}
+
+std::uint32_t
+OperandLog::entryBytes(bool is_store_like)
+{
+    return is_store_like ? kStoreEntryBytes : kLoadEntryBytes;
+}
+
+bool
+OperandLog::tryAllocate(int partition, std::uint32_t bytes)
+{
+    auto &u = used_[static_cast<size_t>(partition)];
+    if (u + bytes > partitionBytes_) {
+        ++failures_;
+        return false;
+    }
+    u += bytes;
+    ++allocs_;
+    return true;
+}
+
+void
+OperandLog::release(int partition, std::uint32_t bytes)
+{
+    auto &u = used_[static_cast<size_t>(partition)];
+    GEX_ASSERT(u >= bytes, "operand log release underflow");
+    u -= bytes;
+}
+
+std::uint32_t
+OperandLog::used(int partition) const
+{
+    return used_[static_cast<size_t>(partition)];
+}
+
+void
+OperandLog::collectStats(StatSet &s) const
+{
+    s.add("operand_log.allocs", static_cast<double>(allocs_));
+    s.add("operand_log.alloc_failures", static_cast<double>(failures_));
+}
+
+} // namespace gex::sm

@@ -1,0 +1,14 @@
+#include "sm/scoreboard.hpp"
+
+namespace gex::sm {
+
+bool
+Scoreboard::clean(int warp) const
+{
+    for (int n = 0; n < kNumNames; ++n)
+        if (at(pendingWrite_, warp, n) != 0 || at(sourceHold_, warp, n) != 0)
+            return false;
+    return true;
+}
+
+} // namespace gex::sm

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Per-warp register scoreboard (paper section 2.1): pending-write
+ * counters enforce RAW/WAW; source-hold counters enforce WAR in the
+ * absence of register renaming. The *release point* of source holds is
+ * the key difference between the baseline/operand-log pipelines
+ * (operand read) and the replay-queue pipeline (last TLB check).
+ */
+
+#ifndef GEX_SM_SCOREBOARD_HPP
+#define GEX_SM_SCOREBOARD_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hpp"
+#include "isa/registers.hpp"
+
+namespace gex::sm {
+
+/**
+ * Scoreboard for every warp slot of one SM. Register name space:
+ * GPRs 0..239, predicates 240..246 (PT and RZ are never tracked).
+ */
+class Scoreboard
+{
+  public:
+    static constexpr int kPredBase = 240;
+    static constexpr int kNumNames = 247;
+
+    void
+    init(int num_warps)
+    {
+        pendingWrite_.assign(
+            static_cast<size_t>(num_warps) * kNumNames, 0);
+        sourceHold_.assign(static_cast<size_t>(num_warps) * kNumNames, 0);
+    }
+
+    /** Scoreboard name for a GPR; -1 when untracked (RZ). */
+    static int
+    regName(isa::Reg r)
+    {
+        return r == isa::kRegZero ? -1 : static_cast<int>(r);
+    }
+
+    /** Scoreboard name for a predicate; -1 when untracked (PT). */
+    static int
+    predName(isa::PredReg p)
+    {
+        return p == isa::kPredTrue ? -1 : kPredBase + static_cast<int>(p);
+    }
+
+    bool
+    canRead(int warp, int name) const
+    {
+        return name < 0 || at(pendingWrite_, warp, name) == 0;
+    }
+
+    /** Writable: no pending write (WAW) and no pending source hold (WAR). */
+    bool
+    canWrite(int warp, int name) const
+    {
+        return name < 0 || (at(pendingWrite_, warp, name) == 0 &&
+                            at(sourceHold_, warp, name) == 0);
+    }
+
+    void
+    acquireWrite(int warp, int name)
+    {
+        if (name >= 0)
+            ++at(pendingWrite_, warp, name);
+    }
+
+    void
+    releaseWrite(int warp, int name)
+    {
+        if (name >= 0) {
+            auto &c = at(pendingWrite_, warp, name);
+            GEX_ASSERT(c > 0, "releaseWrite underflow");
+            --c;
+        }
+    }
+
+    void
+    acquireSource(int warp, int name)
+    {
+        if (name >= 0)
+            ++at(sourceHold_, warp, name);
+    }
+
+    void
+    releaseSource(int warp, int name)
+    {
+        if (name >= 0) {
+            auto &c = at(sourceHold_, warp, name);
+            GEX_ASSERT(c > 0, "releaseSource underflow");
+            --c;
+        }
+    }
+
+    /** True when the warp has no outstanding holds (drained). */
+    bool clean(int warp) const;
+
+  private:
+    std::uint16_t &
+    at(std::vector<std::uint16_t> &v, int warp, int name)
+    {
+        return v[static_cast<size_t>(warp) * kNumNames +
+                 static_cast<size_t>(name)];
+    }
+    const std::uint16_t &
+    at(const std::vector<std::uint16_t> &v, int warp, int name) const
+    {
+        return v[static_cast<size_t>(warp) * kNumNames +
+                 static_cast<size_t>(name)];
+    }
+
+    std::vector<std::uint16_t> pendingWrite_;
+    std::vector<std::uint16_t> sourceHold_;
+};
+
+} // namespace gex::sm
+
+#endif // GEX_SM_SCOREBOARD_HPP

@@ -1,0 +1,1004 @@
+#include "sm/sm.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "gpu/local_scheduler.hpp"
+
+namespace gex::sm {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Unit;
+
+Sm::Sm(int id, const gpu::GpuConfig &cfg, MemorySystem &sys,
+       BlockSupply &supply)
+    : id_(id), cfg_(cfg), sys_(sys), supply_(supply),
+      policy_(SchemePolicy::make(cfg.scheme)), lsu_(cfg.sm, sys),
+      mathPort_(cfg.sm.numMathUnits), sfuPort_(1), branchPort_(1),
+      sharedPort_(1)
+{
+    sb_.init(cfg.sm.maxWarps);
+    warps_.resize(static_cast<size_t>(cfg.sm.maxWarps));
+}
+
+void
+Sm::beginKernel(const LaunchInfo &li)
+{
+    li_ = li;
+    GEX_ASSERT(li.blocksPerSm > 0);
+    GEX_ASSERT(li.blocksPerSm * li.warpsPerBlock <= cfg_.sm.maxWarps);
+    slots_.assign(static_cast<size_t>(li.blocksPerSm), TbSlot{});
+    for (auto &w : warps_)
+        w = WarpRt{};
+    offchip_.clear();
+    extraBlocksBrought_ = 0;
+    slotRetryAt_ = kNoCycle;
+    if (policy_.usesOperandLog)
+        log_.configure(cfg_.operandLogBytes, li.blocksPerSm);
+}
+
+int
+Sm::freeSlots() const
+{
+    int n = 0;
+    for (const auto &s : slots_)
+        if (s.state == TbSlot::State::Empty)
+            ++n;
+    return n;
+}
+
+int
+Sm::ownedBlocks() const
+{
+    int n = static_cast<int>(offchip_.size());
+    for (const auto &s : slots_)
+        if (s.state != TbSlot::State::Empty)
+            ++n;
+    return n;
+}
+
+bool
+Sm::launchBlock(const trace::BlockTrace *bt, Cycle now)
+{
+    for (size_t s = 0; s < slots_.size(); ++s) {
+        if (slots_[s].state == TbSlot::State::Empty) {
+            installBlock(static_cast<int>(s), bt, now, nullptr);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Sm::installBlock(int slot, const trace::BlockTrace *bt, Cycle now,
+                 const OffchipBlock *restore_from)
+{
+    TbSlot &ts = slots_[static_cast<size_t>(slot)];
+    ts.state = TbSlot::State::Running;
+    ts.blockId = bt->blockId;
+    ts.bt = bt;
+    ts.firstWarp = slot * li_.warpsPerBlock;
+    ts.numWarps = static_cast<int>(bt->warps.size());
+    ts.warpsFinished = 0;
+    ts.faultReadyAt = 0;
+    ts.installedAt = now;
+
+    for (int j = 0; j < ts.numWarps; ++j) {
+        WarpRt &w = warps_[static_cast<size_t>(ts.firstWarp + j)];
+        w = WarpRt{};
+        w.slot = slot;
+        w.tr = &bt->warps[static_cast<size_t>(j)];
+        if (restore_from) {
+            const SavedWarp &sv =
+                restore_from->warps[static_cast<size_t>(j)];
+            w.fetchIdx = sv.fetchIdx;
+            w.replayQ = sv.replayQ;
+            w.waitingBarrier = sv.waitingBarrier;
+            w.finished = sv.finished;
+            if (w.finished)
+                ++ts.warpsFinished;
+        }
+    }
+    didWork_ = true;
+}
+
+bool
+Sm::busy() const
+{
+    if (!offchip_.empty())
+        return true;
+    for (const auto &s : slots_)
+        if (s.state != TbSlot::State::Empty)
+            return true;
+    return false;
+}
+
+Cycle
+Sm::nextEventCycle() const
+{
+    return events_.empty() ? kNoCycle : events_.top().cycle;
+}
+
+// ---------------------------------------------------------------------------
+// Event plumbing
+
+std::uint32_t
+Sm::allocInflight()
+{
+    if (!freeList_.empty()) {
+        std::uint32_t id = freeList_.back();
+        freeList_.pop_back();
+        pool_[id] = Inflight{};
+        pool_[id].live = true;
+        return id;
+    }
+    pool_.push_back(Inflight{});
+    pool_.back().live = true;
+    return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void
+Sm::scheduleEvent(Cycle cycle, EvKind kind, std::int32_t arg,
+                  std::uint32_t id)
+{
+    events_.push(Event{cycle, ++eventSeq_, kind, arg, id});
+}
+
+void
+Sm::scheduleInstEvent(Cycle cycle, EvKind kind, std::int32_t arg,
+                      std::uint32_t id)
+{
+    events_.push(Event{cycle, ++eventSeq_, kind, arg, id});
+    ++pool_[id].eventsLeft;
+}
+
+void
+Sm::retireEventRef(std::uint32_t id)
+{
+    Inflight &in = pool_[id];
+    GEX_ASSERT(in.eventsLeft > 0);
+    if (--in.eventsLeft == 0 && in.live && in.squashed) {
+        in.live = false;
+        freeList_.push_back(id);
+    }
+}
+
+void
+Sm::tick(Cycle now)
+{
+    didWork_ = false;
+    processEvents(now);
+    doFetch(now);
+    doIssue(now);
+}
+
+void
+Sm::processEvents(Cycle now)
+{
+    while (!events_.empty() && events_.top().cycle <= now) {
+        Event ev = events_.top();
+        events_.pop();
+        didWork_ = true;
+        switch (ev.kind) {
+          case EvKind::SourceRelease: {
+            Inflight &in = pool_[ev.id];
+            if (!in.squashed && in.sourcesHeld) {
+                const Instruction &si = *in.si;
+                const auto &t = si.traits();
+                for (int i = 0; i < t.numSrcs; ++i) {
+                    if (i == 1 && si.useImm)
+                        continue;
+                    sb_.releaseSource(in.warp, Scoreboard::regName(si.srcs[i]));
+                }
+                sb_.releaseSource(in.warp, Scoreboard::predName(si.pred));
+                if (si.op == Opcode::SEL || si.op == Opcode::PSETP)
+                    sb_.releaseSource(in.warp, Scoreboard::predName(si.predA));
+                if (si.op == Opcode::PSETP)
+                    sb_.releaseSource(in.warp, Scoreboard::predName(si.predB));
+                in.sourcesHeld = false;
+            }
+            retireEventRef(ev.id);
+            break;
+          }
+          case EvKind::LastCheck: {
+            Inflight &in = pool_[ev.id];
+            if (!in.squashed)
+                onLastCheck(in, now);
+            retireEventRef(ev.id);
+            break;
+          }
+          case EvKind::Commit: {
+            Inflight &in = pool_[ev.id];
+            if (!in.squashed)
+                onCommit(in, now);
+            retireEventRef(ev.id);
+            // Commit retires the record.
+            Inflight &in2 = pool_[ev.id];
+            if (in2.live && !in2.squashed && in2.eventsLeft == 0) {
+                in2.live = false;
+                freeList_.push_back(ev.id);
+            }
+            break;
+          }
+          case EvKind::FaultReact: {
+            Inflight &in = pool_[ev.id];
+            if (!in.squashed)
+                onFaultReact(in, now);
+            retireEventRef(ev.id);
+            break;
+          }
+          case EvKind::WarpResume:
+            onWarpResume(ev.arg, now);
+            break;
+          case EvKind::TrapEnter: {
+            // The warp switches to system mode and runs the trap
+            // handler; no replay is needed (the instruction completed).
+            Inflight &in = pool_[ev.id];
+            WarpRt &wr = warps_[static_cast<size_t>(in.warp)];
+            if (wr.slot >= 0) {
+                wr.faultBlocked = true;
+                wr.blockedUntil =
+                    std::max(wr.blockedUntil, now + cfg_.trapHandlerCycles);
+                scheduleEvent(wr.blockedUntil, EvKind::WarpResume, in.warp,
+                              UINT32_MAX);
+                ++trapsHandled_;
+                systemModeCycles_ += cfg_.trapHandlerCycles;
+            }
+            retireEventRef(ev.id);
+            break;
+          }
+          case EvKind::SaveReady: {
+            int slot = ev.arg;
+            TbSlot &ts = slots_[static_cast<size_t>(slot)];
+            if (ts.state != TbSlot::State::Draining)
+                break;
+            bool drained = true;
+            for (int j = 0; j < ts.numWarps; ++j)
+                if (warps_[static_cast<size_t>(ts.firstWarp + j)].inflight >
+                    0)
+                    drained = false;
+            if (!drained) {
+                scheduleEvent(std::max(drainTime(slot), now + 1),
+                              EvKind::SaveReady, slot, UINT32_MAX);
+                break;
+            }
+            ts.state = TbSlot::State::Saving;
+            Cycle done;
+            if (cfg_.idealContextSwitch) {
+                done = now + 1;
+            } else {
+                done = sys_.bulkDramTraffic(now, li_.contextBytesPerBlock) +
+                       cfg_.contextSwitchOverhead;
+                contextBytesMoved_ += li_.contextBytesPerBlock;
+            }
+            scheduleEvent(done, EvKind::SaveDone, slot, UINT32_MAX);
+            break;
+          }
+          case EvKind::SaveDone: {
+            int slot = ev.arg;
+            TbSlot &ts = slots_[static_cast<size_t>(slot)];
+            GEX_ASSERT(ts.state == TbSlot::State::Saving);
+            OffchipBlock ob;
+            ob.blockId = ts.blockId;
+            ob.bt = ts.bt;
+            ob.readyAt = ts.faultReadyAt;
+            ob.warps.resize(static_cast<size_t>(ts.numWarps));
+            for (int j = 0; j < ts.numWarps; ++j) {
+                WarpRt &w = warps_[static_cast<size_t>(ts.firstWarp + j)];
+                SavedWarp &sv = ob.warps[static_cast<size_t>(j)];
+                sv.fetchIdx = w.fetchIdx;
+                sv.replayQ = std::move(w.replayQ);
+                sv.waitingBarrier = w.waitingBarrier;
+                sv.finished = w.finished;
+                w = WarpRt{};
+            }
+            offchip_.push_back(std::move(ob));
+            ts = TbSlot{};
+            ++switchOuts_;
+            fillEmptySlots(now);
+            break;
+          }
+          case EvKind::RestoreDone: {
+            int slot = ev.arg;
+            TbSlot &ts = slots_[static_cast<size_t>(slot)];
+            GEX_ASSERT(ts.state == TbSlot::State::Restoring);
+            GEX_ASSERT(ev.id < restorePending_.size() &&
+                       restorePending_[ev.id].bt != nullptr);
+            OffchipBlock ob = std::move(restorePending_[ev.id]);
+            restorePending_[ev.id] = OffchipBlock{};
+            installBlock(slot, ob.bt, now, &ob);
+            ++switchIns_;
+            break;
+          }
+          case EvKind::SlotRetry:
+            slotRetryAt_ = kNoCycle;
+            fillEmptySlots(now);
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fetch
+
+void
+Sm::doFetch(Cycle now)
+{
+    // One instruction line (fetchWidth instructions) from one warp per
+    // cycle (paper section 2.1). Fetch-disabling instructions stop the
+    // line mid-way.
+    const int n = static_cast<int>(warps_.size());
+    const bool greedy =
+        cfg_.sm.schedPolicy == gpu::SchedPolicy::GreedyThenOldest;
+    for (int lines = 0, i = 0;
+         i < n && lines < cfg_.sm.fetchPerCycle; ++i) {
+        // LRR rotates the start; GTO retries the last warp, then
+        // scans from the oldest (lowest slot).
+        int w = greedy ? (i == 0 ? rrFetch_ : i - 1)
+                       : (rrFetch_ + 1 + i) % n;
+        if (greedy && i > 0 && w == rrFetch_)
+            continue;
+        WarpRt &wr = warps_[static_cast<size_t>(w)];
+        if (!wr.schedulable())
+            continue;
+
+        int fetched_from_warp = 0;
+        while (fetched_from_warp < cfg_.sm.fetchWidth) {
+            if (static_cast<int>(wr.ibuf.size()) >=
+                cfg_.sm.instBufferDepth)
+                break;
+            if (wr.controlPending > 0 || wr.wdFetchDisable)
+                break;
+            if (now < wr.fetchResumeAt)
+                break;
+
+            std::uint32_t idx;
+            if (!wr.replayQ.empty()) {
+                idx = wr.replayQ.front();
+                wr.replayQ.pop_front();
+            } else if (wr.fetchIdx < wr.tr->insts.size()) {
+                idx = wr.fetchIdx++;
+            } else {
+                break;
+            }
+
+            const trace::TraceInst &ti = wr.tr->insts[idx];
+            const Instruction &si = li_.kernel->program.at(ti.staticIdx);
+            if (si.isControl())
+                ++wr.controlPending;
+            if (policy_.fetchDisableOnGlobalMem &&
+                (si.isGlobalMem() ||
+                 (cfg_.arithExceptions && si.traits().canRaiseArith)))
+                wr.wdFetchDisable = true;
+            wr.ibuf.push_back(InstBufEntry{idx, now + 1});
+            ++fetches_;
+            ++fetched_from_warp;
+            didWork_ = true;
+        }
+        if (fetched_from_warp > 0) {
+            ++lines;
+            rrFetch_ = w;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Issue
+
+void
+Sm::doIssue(Cycle now)
+{
+    const int n = static_cast<int>(warps_.size());
+    const bool greedy =
+        cfg_.sm.schedPolicy == gpu::SchedPolicy::GreedyThenOldest;
+    int total = 0;
+    int warps_used = 0;
+    int last_issued = rrIssue_;
+    for (int i = 0; i < n && total < cfg_.sm.issueWidth && warps_used < 2;
+         ++i) {
+        int w = greedy ? (i == 0 ? rrIssue_ : i - 1)
+                       : (rrIssue_ + 1 + i) % n;
+        if (greedy && i > 0 && w == rrIssue_)
+            continue;
+        int k = 0;
+        while (k < cfg_.sm.maxIssuePerWarp && total < cfg_.sm.issueWidth &&
+               tryIssueHead(w, now)) {
+            ++k;
+            ++total;
+        }
+        if (k > 0) {
+            ++warps_used;
+            last_issued = w;
+        }
+    }
+    if (total > 0)
+        rrIssue_ = last_issued;
+}
+
+bool
+Sm::tryIssueHead(int w, Cycle now)
+{
+    WarpRt &wr = warps_[static_cast<size_t>(w)];
+    if (!wr.schedulable() || wr.ibuf.empty() ||
+        wr.ibuf.front().readyAt > now)
+        return false;
+
+    const std::uint32_t idx = wr.ibuf.front().idx;
+    const trace::TraceInst &ti = wr.tr->insts[idx];
+    const Instruction &si = li_.kernel->program.at(ti.staticIdx);
+    const auto &t = si.traits();
+
+    // --- scoreboard checks (RAW on sources, WAW+WAR on destinations) ---
+    for (int i = 0; i < t.numSrcs; ++i) {
+        if (i == 1 && si.useImm)
+            continue;
+        if (!sb_.canRead(w, Scoreboard::regName(si.srcs[i]))) {
+            ++stallScoreboard_;
+            return false;
+        }
+    }
+    if (!sb_.canRead(w, Scoreboard::predName(si.pred))) {
+        ++stallScoreboard_;
+        return false;
+    }
+    if ((si.op == Opcode::SEL || si.op == Opcode::PSETP) &&
+        !sb_.canRead(w, Scoreboard::predName(si.predA))) {
+        ++stallScoreboard_;
+        return false;
+    }
+    if (si.op == Opcode::PSETP &&
+        !sb_.canRead(w, Scoreboard::predName(si.predB))) {
+        ++stallScoreboard_;
+        return false;
+    }
+    if (t.writesDst && !sb_.canWrite(w, Scoreboard::regName(si.dst))) {
+        ++stallScoreboard_;
+        return false;
+    }
+    if ((si.op == Opcode::SETP || si.op == Opcode::PSETP) &&
+        !sb_.canWrite(w, Scoreboard::predName(si.predDst))) {
+        ++stallScoreboard_;
+        return false;
+    }
+
+    const bool is_global = si.isGlobalMem();
+
+    // --- structural gates ---
+    if (is_global) {
+        if (lsuIssuedAt_ == now) {
+            return false; // one memory instruction per cycle
+        }
+        if (inflightMem_ >= cfg_.sm.lsuQueueDepth) {
+            ++stallLsuQueue_;
+            return false;
+        }
+    }
+
+    // --- operand log gate (OperandLog scheme) ---
+    std::uint32_t log_bytes = 0;
+    if (policy_.usesOperandLog && is_global && ti.numActive > 0) {
+        log_bytes = OperandLog::entryBytes(t.isStore || t.isAtomic);
+        if (!log_.tryAllocate(wr.slot, log_bytes)) {
+            ++stallLog_;
+            return false;
+        }
+    }
+
+    // --- issue ---
+    wr.ibuf.pop_front();
+    const Cycle op_read = now + 1;
+
+    std::uint32_t id = allocInflight();
+    Inflight &in = pool_[id];
+    in.traceIdx = idx;
+    in.warp = w;
+    in.ti = &ti;
+    in.si = &si;
+    in.isGlobalMem = is_global;
+    in.isControl = si.isControl();
+    in.logHeld = log_bytes > 0;
+    in.logBytes = log_bytes;
+    in.logPartition = wr.slot;
+
+    // Acquire scoreboard entries.
+    for (int i = 0; i < t.numSrcs; ++i) {
+        if (i == 1 && si.useImm)
+            continue;
+        sb_.acquireSource(w, Scoreboard::regName(si.srcs[i]));
+    }
+    sb_.acquireSource(w, Scoreboard::predName(si.pred));
+    if (si.op == Opcode::SEL || si.op == Opcode::PSETP)
+        sb_.acquireSource(w, Scoreboard::predName(si.predA));
+    if (si.op == Opcode::PSETP)
+        sb_.acquireSource(w, Scoreboard::predName(si.predB));
+    in.sourcesHeld = true;
+    if (t.writesDst) {
+        sb_.acquireWrite(w, Scoreboard::regName(si.dst));
+        in.dstHeld = true;
+    }
+    if (si.op == Opcode::SETP || si.op == Opcode::PSETP) {
+        sb_.acquireWrite(w, Scoreboard::predName(si.predDst));
+        in.dstHeld = true;
+    }
+
+    bool faulted = false;
+    if (is_global) {
+        lsuIssuedAt_ = now;
+        ++inflightMem_;
+        in.mem = lsu_.processGlobal(si, ti, wr.tr->lines(ti), op_read,
+                                    !policy_.preemptible,
+                                    cfg_.faultRetryLatency);
+        faulted = in.mem.faulted;
+        if (faulted) {
+            scheduleInstEvent(in.mem.faultDetect, EvKind::FaultReact, w, id);
+        } else {
+            scheduleInstEvent(in.mem.lastTlbCheck, EvKind::LastCheck, w, id);
+            in.commitAt = in.mem.execDone + 1;
+            scheduleInstEvent(in.commitAt, EvKind::Commit, w, id);
+        }
+        // Source release point depends on the scheme.
+        if (!(policy_.holdSourcesUntilLastCheck)) {
+            scheduleInstEvent(op_read, EvKind::SourceRelease, w, id);
+        } else if (faulted) {
+            // Replay-queue scheme: sources stay held until the last
+            // TLB check, which never happens for a faulted
+            // instruction; they release when it is squashed.
+        }
+    } else {
+        Cycle start = 0;
+        Cycle lat = 1;
+        switch (t.unit) {
+          case Unit::Math:
+            start = mathPort_.reserve(op_read + 1);
+            lat = cfg_.sm.mathLatency;
+            break;
+          case Unit::Sfu:
+            start = sfuPort_.reserve(op_read + 1);
+            lat = cfg_.sm.sfuLatency;
+            break;
+          case Unit::Branch:
+            start = branchPort_.reserve(op_read + 1);
+            lat = cfg_.sm.branchLatency;
+            break;
+          case Unit::Shared:
+            start = sharedPort_.reserve(op_read + 1);
+            lat = cfg_.sm.sharedLatency;
+            break;
+          case Unit::None:
+          default:
+            start = op_read + 1;
+            lat = 0;
+            break;
+        }
+        in.commitAt = start + lat;
+        scheduleInstEvent(in.commitAt, EvKind::Commit, w, id);
+        const bool arith_capable =
+            cfg_.arithExceptions && t.canRaiseArith;
+        in.isArithBarrier =
+            arith_capable && policy_.fetchDisableOnGlobalMem;
+        if (arith_capable && policy_.holdSourcesUntilLastCheck) {
+            // Replay queue extension: sources of possibly-raising
+            // instructions release only once they are known safe
+            // (here: completion); see paper section 3.2.
+        } else {
+            scheduleInstEvent(op_read, EvKind::SourceRelease, w, id);
+        }
+        if (arith_capable && ti.arithFault) {
+            if (policy_.preemptible)
+                scheduleInstEvent(in.commitAt, EvKind::TrapEnter, w, id);
+            else
+                ++arithReportedOnly_; // current GPUs: report, no recovery
+        }
+    }
+
+    ++wr.inflight;
+    wr.maxCommitScheduled = std::max(
+        wr.maxCommitScheduled, faulted ? in.mem.faultDetect : in.commitAt);
+    ++instsIssued_;
+    didWork_ = true;
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// Event reactions
+
+void
+Sm::onLastCheck(Inflight &in, Cycle now)
+{
+    WarpRt &wr = warps_[static_cast<size_t>(in.warp)];
+    if (policy_.holdSourcesUntilLastCheck && in.sourcesHeld) {
+        const Instruction &si = *in.si;
+        const auto &t = si.traits();
+        for (int i = 0; i < t.numSrcs; ++i) {
+            if (i == 1 && si.useImm)
+                continue;
+            sb_.releaseSource(in.warp, Scoreboard::regName(si.srcs[i]));
+        }
+        sb_.releaseSource(in.warp, Scoreboard::predName(si.pred));
+        in.sourcesHeld = false;
+    }
+    if (in.logHeld) {
+        log_.release(in.logPartition, in.logBytes);
+        in.logHeld = false;
+    }
+    if (policy_.reenableAtLastCheck && in.isGlobalMem && wr.wdFetchDisable) {
+        wr.wdFetchDisable = false;
+        wr.fetchResumeAt = now + cfg_.sm.fetchRestartPenalty;
+        // Wake the fetch stage when the refill completes (the main
+        // loop skips cycles based on pending events).
+        scheduleEvent(wr.fetchResumeAt, EvKind::WarpResume, in.warp,
+                      UINT32_MAX);
+    }
+}
+
+void
+Sm::onCommit(Inflight &in, Cycle now)
+{
+    WarpRt &wr = warps_[static_cast<size_t>(in.warp)];
+    const Instruction &si = *in.si;
+
+    if (in.sourcesHeld) {
+        // Safety net (e.g. replay-queue mem inst whose last check and
+        // commit coincide and ordering put commit first).
+        const auto &t = si.traits();
+        for (int i = 0; i < t.numSrcs; ++i) {
+            if (i == 1 && si.useImm)
+                continue;
+            sb_.releaseSource(in.warp, Scoreboard::regName(si.srcs[i]));
+        }
+        sb_.releaseSource(in.warp, Scoreboard::predName(si.pred));
+        if (si.op == Opcode::SEL || si.op == Opcode::PSETP)
+            sb_.releaseSource(in.warp, Scoreboard::predName(si.predA));
+        if (si.op == Opcode::PSETP)
+            sb_.releaseSource(in.warp, Scoreboard::predName(si.predB));
+        in.sourcesHeld = false;
+    }
+    if (in.dstHeld) {
+        if (si.traits().writesDst)
+            sb_.releaseWrite(in.warp, Scoreboard::regName(si.dst));
+        if (si.op == Opcode::SETP || si.op == Opcode::PSETP)
+            sb_.releaseWrite(in.warp, Scoreboard::predName(si.predDst));
+        in.dstHeld = false;
+    }
+    if (in.logHeld) {
+        log_.release(in.logPartition, in.logBytes);
+        in.logHeld = false;
+    }
+    if (in.isControl) {
+        GEX_ASSERT(wr.controlPending > 0);
+        --wr.controlPending;
+    }
+    if (in.isArithBarrier && wr.wdFetchDisable) {
+        // Arithmetic fetch barriers re-enable at commit in both
+        // warp-disable variants (there is no TLB check to wait for).
+        wr.wdFetchDisable = false;
+        wr.fetchResumeAt = now + cfg_.sm.fetchRestartPenalty;
+        scheduleEvent(wr.fetchResumeAt, EvKind::WarpResume, in.warp,
+                      UINT32_MAX);
+    }
+    if (in.isGlobalMem) {
+        --inflightMem_;
+        if (policy_.fetchDisableOnGlobalMem &&
+            !policy_.reenableAtLastCheck && wr.wdFetchDisable) {
+            wr.wdFetchDisable = false;
+            wr.fetchResumeAt = now + cfg_.sm.fetchRestartPenalty;
+            scheduleEvent(wr.fetchResumeAt, EvKind::WarpResume, in.warp,
+                          UINT32_MAX);
+        }
+    }
+    if (si.op == Opcode::BAR && wr.slot >= 0) {
+        wr.waitingBarrier = true;
+        releaseBarrierIfReady(wr.slot);
+    }
+
+    --wr.inflight;
+    ++instsCommitted_;
+    checkWarpFinished(in.warp, now);
+}
+
+void
+Sm::squash(Inflight &in, Cycle now)
+{
+    (void)now;
+    WarpRt &wr = warps_[static_cast<size_t>(in.warp)];
+    const Instruction &si = *in.si;
+    if (in.sourcesHeld) {
+        const auto &t = si.traits();
+        for (int i = 0; i < t.numSrcs; ++i) {
+            if (i == 1 && si.useImm)
+                continue;
+            sb_.releaseSource(in.warp, Scoreboard::regName(si.srcs[i]));
+        }
+        sb_.releaseSource(in.warp, Scoreboard::predName(si.pred));
+        if (si.op == Opcode::SEL || si.op == Opcode::PSETP)
+            sb_.releaseSource(in.warp, Scoreboard::predName(si.predA));
+        if (si.op == Opcode::PSETP)
+            sb_.releaseSource(in.warp, Scoreboard::predName(si.predB));
+        in.sourcesHeld = false;
+    }
+    if (in.dstHeld) {
+        if (si.traits().writesDst)
+            sb_.releaseWrite(in.warp, Scoreboard::regName(si.dst));
+        if (si.op == Opcode::SETP || si.op == Opcode::PSETP)
+            sb_.releaseWrite(in.warp, Scoreboard::predName(si.predDst));
+        in.dstHeld = false;
+    }
+    if (in.logHeld) {
+        log_.release(in.logPartition, in.logBytes);
+        in.logHeld = false;
+    }
+    if (in.isControl) {
+        GEX_ASSERT(wr.controlPending > 0);
+        --wr.controlPending;
+    }
+    if (in.isGlobalMem)
+        --inflightMem_;
+    --wr.inflight;
+    in.squashed = true;
+}
+
+void
+Sm::revertIbuf(WarpRt &w)
+{
+    if (w.ibuf.empty())
+        return;
+    for (const InstBufEntry &e : w.ibuf) {
+        const trace::TraceInst &ti = w.tr->insts[e.idx];
+        const Instruction &si = li_.kernel->program.at(ti.staticIdx);
+        if (si.isControl()) {
+            GEX_ASSERT(w.controlPending > 0);
+            --w.controlPending;
+        }
+    }
+    w.fetchIdx = w.ibuf.front().idx;
+    w.ibuf.clear();
+}
+
+void
+Sm::insertReplay(WarpRt &w, std::uint32_t trace_idx)
+{
+    auto it = std::lower_bound(w.replayQ.begin(), w.replayQ.end(),
+                               trace_idx);
+    GEX_ASSERT(it == w.replayQ.end() || *it != trace_idx,
+               "instruction already in replay queue");
+    w.replayQ.insert(it, trace_idx);
+}
+
+void
+Sm::onFaultReact(Inflight &in, Cycle now)
+{
+    GEX_ASSERT(policy_.preemptible,
+               "fault reaction in non-preemptible scheme");
+    WarpRt &wr = warps_[static_cast<size_t>(in.warp)];
+    ++faultsSeen_;
+    if (in.mem.kind == vm::FaultKind::Joined)
+        ++faultsJoined_;
+    if (in.mem.kind == vm::FaultKind::GpuAlloc) {
+        ++faultsGpuHandled_;
+        systemModeCycles_ += in.mem.resolveAll - in.mem.faultDetect;
+    }
+
+    const std::uint32_t replay_idx = in.traceIdx;
+    squash(in, now);
+    insertReplay(wr, replay_idx);
+    revertIbuf(wr);
+    wr.wdFetchDisable = false;
+
+    wr.faultBlocked = true;
+    wr.blockedUntil = std::max({wr.blockedUntil, in.mem.resolveAll,
+                                wr.maxCommitScheduled});
+    scheduleEvent(std::max(wr.blockedUntil, now + 1), EvKind::WarpResume,
+                  in.warp, UINT32_MAX);
+
+    if (wr.slot >= 0) {
+        TbSlot &ts = slots_[static_cast<size_t>(wr.slot)];
+        ts.faultReadyAt = std::max(ts.faultReadyAt, in.mem.resolveAll);
+        if (cfg_.blockSwitching && ts.state == TbSlot::State::Running &&
+            in.mem.kind != vm::FaultKind::GpuAlloc)
+            considerSwitch(wr.slot, in.mem.queueDepth, now);
+    }
+}
+
+void
+Sm::onWarpResume(int w, Cycle now)
+{
+    WarpRt &wr = warps_[static_cast<size_t>(w)];
+    if (wr.slot < 0 || !wr.faultBlocked || now < wr.blockedUntil)
+        return; // stale (block switched out, or deadline extended)
+    wr.faultBlocked = false;
+    didWork_ = true;
+}
+
+void
+Sm::checkWarpFinished(int w, Cycle now)
+{
+    WarpRt &wr = warps_[static_cast<size_t>(w)];
+    if (wr.finished || wr.slot < 0)
+        return;
+    if (wr.fetchIdx >= wr.tr->insts.size() && wr.replayQ.empty() &&
+        wr.ibuf.empty() && wr.inflight == 0 && !wr.faultBlocked) {
+        wr.finished = true;
+        TbSlot &ts = slots_[static_cast<size_t>(wr.slot)];
+        ++ts.warpsFinished;
+        releaseBarrierIfReady(wr.slot);
+        if (ts.warpsFinished == ts.numWarps)
+            finishBlock(wr.slot, now);
+    }
+}
+
+void
+Sm::releaseBarrierIfReady(int slot)
+{
+    TbSlot &ts = slots_[static_cast<size_t>(slot)];
+    int waiting = 0;
+    for (int j = 0; j < ts.numWarps; ++j)
+        if (warps_[static_cast<size_t>(ts.firstWarp + j)].waitingBarrier)
+            ++waiting;
+    if (waiting == 0)
+        return;
+    if (waiting + ts.warpsFinished == ts.numWarps) {
+        for (int j = 0; j < ts.numWarps; ++j)
+            warps_[static_cast<size_t>(ts.firstWarp + j)].waitingBarrier =
+                false;
+        didWork_ = true;
+    }
+}
+
+void
+Sm::finishBlock(int slot, Cycle now)
+{
+    TbSlot &ts = slots_[static_cast<size_t>(slot)];
+    for (int j = 0; j < ts.numWarps; ++j)
+        warps_[static_cast<size_t>(ts.firstWarp + j)] = WarpRt{};
+    ts = TbSlot{};
+    ++blocksCompleted_;
+    fillEmptySlots(now);
+}
+
+// ---------------------------------------------------------------------------
+// UC1: block switching on fault (paper section 4.1)
+
+Cycle
+Sm::drainTime(int slot) const
+{
+    const TbSlot &ts = slots_[static_cast<size_t>(slot)];
+    Cycle t = 0;
+    for (int j = 0; j < ts.numWarps; ++j)
+        t = std::max(t, warps_[static_cast<size_t>(ts.firstWarp + j)]
+                            .maxCommitScheduled);
+    return t;
+}
+
+void
+Sm::considerSwitch(int slot, int queue_depth, Cycle now)
+{
+    const TbSlot &ts = slots_[static_cast<size_t>(slot)];
+    if (now < ts.installedAt + cfg_.minResidencyBeforeSwitch)
+        return; // anti-churn: freshly installed blocks stay put
+    if (!gpu::shouldSwitchOnFault(cfg_, queue_depth, ownedBlocks(),
+                                  static_cast<int>(slots_.size()),
+                                  supply_.hasPending(),
+                                  static_cast<int>(offchip_.size())))
+        return;
+    beginDrain(slot, now);
+}
+
+void
+Sm::beginDrain(int slot, Cycle now)
+{
+    TbSlot &ts = slots_[static_cast<size_t>(slot)];
+    ts.state = TbSlot::State::Draining;
+    for (int j = 0; j < ts.numWarps; ++j) {
+        WarpRt &w = warps_[static_cast<size_t>(ts.firstWarp + j)];
+        w.frozen = true;
+        revertIbuf(w);
+    }
+    scheduleEvent(std::max(drainTime(slot), now + 1), EvKind::SaveReady,
+                  slot, UINT32_MAX);
+}
+
+void
+Sm::fillEmptySlots(Cycle now)
+{
+    for (size_t s = 0; s < slots_.size(); ++s) {
+        TbSlot &ts = slots_[s];
+        if (ts.state != TbSlot::State::Empty)
+            continue;
+
+        // 1) A switched-out block whose faults all resolved.
+        int best = -1;
+        for (size_t o = 0; o < offchip_.size(); ++o) {
+            if (offchip_[o].readyAt <= now &&
+                (best < 0 || offchip_[o].readyAt <
+                                 offchip_[static_cast<size_t>(best)].readyAt))
+                best = static_cast<int>(o);
+        }
+        if (best >= 0) {
+            OffchipBlock ob = std::move(offchip_[static_cast<size_t>(best)]);
+            offchip_.erase(offchip_.begin() + best);
+            ts.state = TbSlot::State::Restoring;
+            Cycle done;
+            if (cfg_.idealContextSwitch) {
+                done = now + 1;
+            } else {
+                done = sys_.bulkDramTraffic(now, li_.contextBytesPerBlock) +
+                       cfg_.contextSwitchOverhead;
+                contextBytesMoved_ += li_.contextBytesPerBlock;
+            }
+            std::uint32_t rid = static_cast<std::uint32_t>(
+                restorePending_.size());
+            for (std::uint32_t r = 0; r < restorePending_.size(); ++r) {
+                if (restorePending_[r].bt == nullptr) {
+                    rid = r;
+                    break;
+                }
+            }
+            if (rid == restorePending_.size())
+                restorePending_.push_back(OffchipBlock{});
+            restorePending_[rid] = std::move(ob);
+            scheduleEvent(done, EvKind::RestoreDone,
+                          static_cast<std::int32_t>(s), rid);
+            continue;
+        }
+
+        // 2) A fresh pending block from the global scheduler.
+        if (supply_.hasPending() &&
+            ownedBlocks() <
+                static_cast<int>(slots_.size()) + cfg_.maxExtraBlocks) {
+            const trace::BlockTrace *bt = supply_.nextBlock();
+            if (bt) {
+                installBlock(static_cast<int>(s), bt, now, nullptr);
+                if (!offchip_.empty())
+                    ++newBlocksViaSwitch_;
+                continue;
+            }
+        }
+
+        // 3) Wait for the earliest off-chip block to become ready.
+        // One pending retry per SM: a retry re-runs this whole scan,
+        // so per-slot events would multiply.
+        if (!offchip_.empty()) {
+            Cycle earliest = kNoCycle;
+            for (const auto &ob : offchip_)
+                earliest = std::min(earliest, ob.readyAt);
+            Cycle at = std::max(earliest, now + 1);
+            if (slotRetryAt_ == kNoCycle || at < slotRetryAt_) {
+                slotRetryAt_ = at;
+                scheduleEvent(at, EvKind::SlotRetry,
+                              static_cast<std::int32_t>(s), UINT32_MAX);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+void
+Sm::collectStats(StatSet &s) const
+{
+    lsu_.collectStats(s);
+    if (policy_.usesOperandLog)
+        log_.collectStats(s);
+    s.add("sm.insts_committed", static_cast<double>(instsCommitted_));
+    s.add("sm.insts_issued", static_cast<double>(instsIssued_));
+    s.add("sm.fetches", static_cast<double>(fetches_));
+    s.add("sm.stall_scoreboard", static_cast<double>(stallScoreboard_));
+    s.add("sm.stall_log", static_cast<double>(stallLog_));
+    s.add("sm.stall_lsu_queue", static_cast<double>(stallLsuQueue_));
+    s.add("sm.faults_reacted", static_cast<double>(faultsSeen_));
+    s.add("sm.faults_joined", static_cast<double>(faultsJoined_));
+    s.add("sm.faults_gpu_handled", static_cast<double>(faultsGpuHandled_));
+    s.add("sm.switch_outs", static_cast<double>(switchOuts_));
+    s.add("sm.switch_ins", static_cast<double>(switchIns_));
+    s.add("sm.new_blocks_via_switch",
+          static_cast<double>(newBlocksViaSwitch_));
+    s.add("sm.system_mode_cycles", static_cast<double>(systemModeCycles_));
+    s.add("sm.traps_handled", static_cast<double>(trapsHandled_));
+    s.add("sm.arith_reported_only",
+          static_cast<double>(arithReportedOnly_));
+    s.add("sm.context_bytes_moved", static_cast<double>(contextBytesMoved_));
+    s.add("sm.blocks_completed", static_cast<double>(blocksCompleted_));
+}
+
+} // namespace gex::sm

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * The streaming multiprocessor timing model (paper Figure 1): fetch
+ * with per-warp instruction buffers, scoreboarded 2-wide in-order
+ * issue, latency-modeled backend units, an LSU with translation and
+ * fault handling, out-of-order commit — plus the five exception
+ * schemes and the UC1 local scheduler (block switching on fault).
+ */
+
+#ifndef GEX_SM_SM_HPP
+#define GEX_SM_SM_HPP
+
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "func/kernel.hpp"
+#include "gpu/config.hpp"
+#include "sm/exception_model.hpp"
+#include "sm/lsu.hpp"
+#include "sm/scoreboard.hpp"
+#include "trace/trace.hpp"
+
+namespace gex::sm {
+
+/** Per-kernel launch geometry computed by the GPU front end. */
+struct LaunchInfo {
+    const func::Kernel *kernel = nullptr;
+    const trace::KernelTrace *trace = nullptr;
+    int warpsPerBlock = 0;
+    int blocksPerSm = 0;           ///< occupancy (resident TBs per SM)
+    std::uint64_t contextBytesPerBlock = 0;
+};
+
+/** Source of pending thread blocks (the global TB scheduler). */
+class BlockSupply
+{
+  public:
+    virtual ~BlockSupply() = default;
+    /** Next pending block, or nullptr when the grid is exhausted. */
+    virtual const trace::BlockTrace *nextBlock() = 0;
+    virtual bool hasPending() const = 0;
+};
+
+class Sm
+{
+  public:
+    Sm(int id, const gpu::GpuConfig &cfg, MemorySystem &sys,
+       BlockSupply &supply);
+
+    /** Prepare warp slots and the operand log for a kernel. */
+    void beginKernel(const LaunchInfo &li);
+
+    /** Install a thread block into a free slot (initial fill). */
+    bool launchBlock(const trace::BlockTrace *bt, Cycle now);
+
+    /** Advance one cycle; sets didWork() when any state changed. */
+    void tick(Cycle now);
+    bool didWork() const { return didWork_; }
+
+    /** Earliest future event, or kNoCycle when quiescent. */
+    Cycle nextEventCycle() const;
+
+    /** True while any block is resident or switched out. */
+    bool busy() const;
+
+    int freeSlots() const;
+
+    void collectStats(StatSet &s) const;
+
+    std::uint64_t instsCommitted() const { return instsCommitted_; }
+
+  private:
+    enum class EvKind : std::uint8_t {
+        SourceRelease, LastCheck, Commit, FaultReact, WarpResume,
+        SaveReady, SaveDone, RestoreDone, SlotRetry, TrapEnter,
+    };
+
+    struct Event {
+        Cycle cycle;
+        std::uint64_t seq;
+        EvKind kind;
+        std::int32_t arg;   ///< warp or slot index
+        std::uint32_t id;   ///< inflight pool index (when applicable)
+        bool
+        operator>(const Event &o) const
+        {
+            return cycle != o.cycle ? cycle > o.cycle : seq > o.seq;
+        }
+    };
+
+    struct Inflight {
+        std::uint32_t traceIdx = 0;
+        int warp = -1;
+        const trace::TraceInst *ti = nullptr;
+        const isa::Instruction *si = nullptr;
+        Cycle commitAt = 0;
+        MemTimeline mem;
+        bool isGlobalMem = false;
+        bool isControl = false;
+        bool isArithBarrier = false; ///< wd fetch barrier for arith exc.
+        bool squashed = false;
+        bool sourcesHeld = false;
+        bool dstHeld = false;
+        bool logHeld = false;
+        std::uint32_t logBytes = 0;
+        int logPartition = 0;
+        int eventsLeft = 0;    ///< pool slot frees when this hits 0
+        bool live = false;
+    };
+
+    struct InstBufEntry {
+        std::uint32_t idx;
+        Cycle readyAt;
+    };
+
+    struct WarpRt {
+        int slot = -1;
+        const trace::WarpTrace *tr = nullptr;
+        std::uint32_t fetchIdx = 0;
+        std::deque<std::uint32_t> replayQ;
+        std::deque<InstBufEntry> ibuf;
+        int controlPending = 0;
+        bool wdFetchDisable = false;
+        int inflight = 0;
+        bool waitingBarrier = false;
+        bool exitFetched = false;
+        bool exitCommitted = false;
+        bool finished = false;
+        bool faultBlocked = false;
+        bool frozen = false;       ///< TB draining for a context switch
+        Cycle blockedUntil = 0;
+        Cycle fetchResumeAt = 0;   ///< wd re-enable pipeline refill
+        Cycle maxCommitScheduled = 0;
+
+        bool
+        schedulable() const
+        {
+            return slot >= 0 && !finished && !waitingBarrier &&
+                   !faultBlocked && !frozen;
+        }
+    };
+
+    struct TbSlot {
+        enum class State : std::uint8_t {
+            Empty, Running, Draining, Saving, Restoring,
+        };
+        State state = State::Empty;
+        std::uint32_t blockId = 0;
+        const trace::BlockTrace *bt = nullptr;
+        int firstWarp = 0;
+        int numWarps = 0;
+        int warpsFinished = 0;
+        Cycle faultReadyAt = 0;
+        Cycle installedAt = 0; ///< for the UC1 anti-churn residency rule
+    };
+
+    struct SavedWarp {
+        std::uint32_t fetchIdx = 0;
+        std::deque<std::uint32_t> replayQ;
+        bool waitingBarrier = false;
+        bool finished = false;
+    };
+
+    struct OffchipBlock {
+        std::uint32_t blockId = 0;
+        const trace::BlockTrace *bt = nullptr;
+        std::vector<SavedWarp> warps;
+        Cycle readyAt = 0;
+    };
+
+    // --- pipeline stages -------------------------------------------------
+    void processEvents(Cycle now);
+    void doFetch(Cycle now);
+    void doIssue(Cycle now);
+    bool tryIssueHead(int w, Cycle now);
+
+    // --- event reactions -------------------------------------------------
+    void onCommit(Inflight &in, Cycle now);
+    void onLastCheck(Inflight &in, Cycle now);
+    void onFaultReact(Inflight &in, Cycle now);
+    void onWarpResume(int w, Cycle now);
+
+    // --- helpers ---------------------------------------------------------
+    std::uint32_t allocInflight();
+    /** Schedule a non-instruction event (id is free payload). */
+    void scheduleEvent(Cycle cycle, EvKind kind, std::int32_t arg,
+                       std::uint32_t id);
+    /** Schedule an event referencing inflight record @p id. */
+    void scheduleInstEvent(Cycle cycle, EvKind kind, std::int32_t arg,
+                           std::uint32_t id);
+    void retireEventRef(std::uint32_t id);
+    void squash(Inflight &in, Cycle now);
+    void revertIbuf(WarpRt &w);
+    void insertReplay(WarpRt &w, std::uint32_t trace_idx);
+    void checkWarpFinished(int w, Cycle now);
+    void releaseBarrierIfReady(int slot);
+    void finishBlock(int slot, Cycle now);
+    void installBlock(int slot, const trace::BlockTrace *bt, Cycle now,
+                      const OffchipBlock *restore_from);
+    void fillEmptySlots(Cycle now);
+    int ownedBlocks() const;
+
+    // --- UC1: block switching --------------------------------------------
+    void considerSwitch(int slot, int queue_depth, Cycle now);
+    void beginDrain(int slot, Cycle now);
+    Cycle drainTime(int slot) const;
+
+    int id_;
+    const gpu::GpuConfig &cfg_;
+    MemorySystem &sys_;
+    BlockSupply &supply_;
+    SchemePolicy policy_;
+    Scoreboard sb_;
+    OperandLog log_;
+    Lsu lsu_;
+
+    LaunchInfo li_;
+    std::vector<WarpRt> warps_;
+    std::vector<TbSlot> slots_;
+    std::vector<OffchipBlock> offchip_;
+    std::vector<OffchipBlock> restorePending_;
+    int extraBlocksBrought_ = 0;
+    Cycle lsuIssuedAt_ = kNoCycle;
+    /** Earliest pending SlotRetry event (dedup; kNoCycle = none). */
+    Cycle slotRetryAt_ = kNoCycle;
+
+    std::vector<Inflight> pool_;
+    std::vector<std::uint32_t> freeList_;
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+    std::uint64_t eventSeq_ = 0;
+
+    mem::Port mathPort_;
+    mem::Port sfuPort_;
+    mem::Port branchPort_;
+    mem::Port sharedPort_;
+    int inflightMem_ = 0;
+    int rrFetch_ = 0;
+    int rrIssue_ = 0;
+    bool didWork_ = false;
+
+    // statistics
+    std::uint64_t instsCommitted_ = 0;
+    std::uint64_t instsIssued_ = 0;
+    std::uint64_t fetches_ = 0;
+    std::uint64_t stallScoreboard_ = 0;
+    std::uint64_t stallLog_ = 0;
+    std::uint64_t stallLsuQueue_ = 0;
+    std::uint64_t faultsSeen_ = 0;
+    std::uint64_t faultsJoined_ = 0;
+    std::uint64_t faultsGpuHandled_ = 0;
+    std::uint64_t switchOuts_ = 0;
+    std::uint64_t switchIns_ = 0;
+    std::uint64_t newBlocksViaSwitch_ = 0;
+    std::uint64_t systemModeCycles_ = 0;
+    std::uint64_t trapsHandled_ = 0;
+    std::uint64_t arithReportedOnly_ = 0;
+    std::uint64_t contextBytesMoved_ = 0;
+    std::uint64_t blocksCompleted_ = 0;
+};
+
+} // namespace gex::sm
+
+#endif // GEX_SM_SM_HPP

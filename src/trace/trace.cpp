@@ -1,0 +1,23 @@
+#include "trace/trace.hpp"
+
+namespace gex::trace {
+
+std::uint64_t
+BlockTrace::dynamicInsts() const
+{
+    std::uint64_t n = 0;
+    for (const auto &w : warps)
+        n += w.insts.size();
+    return n;
+}
+
+std::uint64_t
+KernelTrace::dynamicInsts() const
+{
+    std::uint64_t n = 0;
+    for (const auto &b : blocks)
+        n += b.dynamicInsts();
+    return n;
+}
+
+} // namespace gex::trace

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Dynamic trace data model: the interface between the execution-driven
+ * functional simulator and the cycle-level timing simulator, mirroring
+ * the paper's methodology (section 5.1).
+ *
+ * Memory instructions carry their post-coalescing unique cache-line
+ * addresses (what the LSU, TLBs and caches operate on); per-lane
+ * addresses are coalesced at trace-generation time by the same rules the
+ * hardware coalescing unit applies (one request per unique line).
+ */
+
+#ifndef GEX_TRACE_TRACE_HPP
+#define GEX_TRACE_TRACE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace gex::trace {
+
+/** One dynamic warp instruction. */
+struct TraceInst {
+    std::uint32_t staticIdx;  ///< pc of the static instruction
+    WarpMask active;          ///< lanes that executed (guard included)
+    std::uint32_t lineOff;    ///< first entry in WarpTrace::linePool
+    std::uint16_t numLines;   ///< coalesced unique lines (mem ops only)
+    std::uint16_t numActive;  ///< popcount of active (operand log sizing)
+    /**
+     * Some active lane raised an arithmetic exception (divide by
+     * zero, log of a non-positive value, ...). Only meaningful for
+     * opcodes with the canRaiseArith trait.
+     */
+    bool arithFault = false;
+};
+
+/** The full dynamic instruction stream of one warp. */
+struct WarpTrace {
+    std::vector<TraceInst> insts;
+    std::vector<Addr> linePool;
+
+    /** Line addresses of instruction @p i. */
+    const Addr *
+    lines(const TraceInst &ti) const
+    {
+        return linePool.data() + ti.lineOff;
+    }
+};
+
+/** All warps of one thread block, in warp-id order. */
+struct BlockTrace {
+    std::uint32_t blockId = 0;   ///< linearized block index
+    std::vector<WarpTrace> warps;
+
+    std::uint64_t dynamicInsts() const;
+};
+
+/** The whole kernel: one BlockTrace per launched thread block. */
+struct KernelTrace {
+    std::vector<BlockTrace> blocks;
+    StatSet stats;  ///< functional-execution statistics
+
+    std::uint64_t dynamicInsts() const;
+    std::uint64_t dynamicMemInsts() const { return memInsts; }
+
+    std::uint64_t memInsts = 0;      ///< global memory instructions
+    std::uint64_t memRequests = 0;   ///< post-coalescing line requests
+};
+
+} // namespace gex::trace
+
+#endif // GEX_TRACE_TRACE_HPP

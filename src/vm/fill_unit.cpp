@@ -1,0 +1,101 @@
+#include "vm/fill_unit.hpp"
+
+namespace gex::vm {
+
+SystemMmu::SystemMmu(const MmuConfig &cfg, PageDirectory &dir,
+                     HostLink &link, GpuFaultHandler &gpu_handler)
+    : cfg_(cfg), dir_(dir), link_(link), gpuHandler_(gpu_handler),
+      l2tlb_(cfg.l2Tlb), walkers_(cfg.numWalkers, cfg.walkCycles)
+{
+}
+
+int
+SystemMmu::pendingFaults(Cycle now)
+{
+    while (!outstandingFaults_.empty() && outstandingFaults_.top() <= now)
+        outstandingFaults_.pop();
+    return static_cast<int>(outstandingFaults_.size());
+}
+
+Translation
+SystemMmu::walk(Addr page, Cycle now)
+{
+    ++walks_;
+    Cycle start = walkers_.reserve(now);
+    Cycle done = start + cfg_.walkCycles;
+    Addr addr = page * kPageSize;
+
+    switch (dir_.stateAt(addr, done)) {
+      case RegionState::GpuResident: {
+        Translation t;
+        t.ready = done;
+        return t;
+      }
+      case RegionState::Pending: {
+        ++joined_;
+        Translation t;
+        t.fault = true;
+        t.detect = done;
+        t.resolve = dir_.pendingReadyAt(addr);
+        t.kind = FaultKind::Joined;
+        t.queueDepth = pendingFaults(done);
+        return t;
+      }
+      case RegionState::CpuOwned: {
+        ++faults_;
+        ++migrations_;
+        Translation t;
+        t.fault = true;
+        t.detect = done;
+        t.queueDepth = pendingFaults(done);
+        t.resolve = link_.serviceFault(done, dir_.regionBytes());
+        t.kind = FaultKind::Migration;
+        dir_.beginPending(addr, t.resolve);
+        outstandingFaults_.push(t.resolve);
+        return t;
+      }
+      case RegionState::Untouched: {
+        ++faults_;
+        Translation t;
+        t.fault = true;
+        t.detect = done;
+        t.queueDepth = pendingFaults(done);
+        if (cfg_.localHandling) {
+            ++gpuAllocs_;
+            t.resolve = gpuHandler_.handle(done);
+            t.kind = FaultKind::GpuAlloc;
+        } else {
+            ++cpuAllocs_;
+            t.resolve = link_.serviceFault(done, 0);
+            t.kind = FaultKind::CpuAlloc;
+        }
+        dir_.beginPending(addr, t.resolve);
+        outstandingFaults_.push(t.resolve);
+        return t;
+      }
+    }
+    panic("unreachable region state");
+}
+
+Translation
+SystemMmu::translate(Addr page, Cycle now)
+{
+    return l2tlb_.translate(page, now, [this](Addr p, Cycle t) {
+        return walk(p, t);
+    });
+}
+
+void
+SystemMmu::collectStats(StatSet &s) const
+{
+    l2tlb_.collectStats(s);
+    const std::string p = "mmu.";
+    s.set(p + "walks", static_cast<double>(walks_));
+    s.set(p + "faults", static_cast<double>(faults_));
+    s.set(p + "joined_faults", static_cast<double>(joined_));
+    s.set(p + "migration_faults", static_cast<double>(migrations_));
+    s.set(p + "cpu_alloc_faults", static_cast<double>(cpuAllocs_));
+    s.set(p + "gpu_alloc_faults", static_cast<double>(gpuAllocs_));
+}
+
+} // namespace gex::vm

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * System-level MMU: shared L2 TLB, the fill unit's page-table walker
+ * pool, the global pending-fault queue, and fault routing to the CPU
+ * (host link) or the GPU-local handler (paper Figures 1 and 2).
+ */
+
+#ifndef GEX_VM_FILL_UNIT_HPP
+#define GEX_VM_FILL_UNIT_HPP
+
+#include <queue>
+
+#include "mem/port.hpp"
+#include "vm/gpu_fault_handler.hpp"
+#include "vm/host_link.hpp"
+#include "vm/page_table.hpp"
+#include "vm/tlb.hpp"
+
+namespace gex::vm {
+
+struct MmuConfig {
+    TlbConfig l2Tlb = {"l2tlb", 1024, 8, 70, 128};
+    int numWalkers = 64;
+    Cycle walkCycles = 500;
+    /** UC2: handle allocation (first-touch) faults on the GPU itself. */
+    bool localHandling = false;
+};
+
+/**
+ * The shared translation machinery behind all per-SM L1 TLBs. The fill
+ * unit performs page table walks; a walk hitting a non-resident region
+ * raises a page fault, which is entered in the global pending-fault
+ * queue and routed to the CPU or the GPU-local handler. Faults to a
+ * region with an in-flight fault join it.
+ */
+class SystemMmu
+{
+  public:
+    SystemMmu(const MmuConfig &cfg, PageDirectory &dir, HostLink &link,
+              GpuFaultHandler &gpuHandler);
+
+    /**
+     * Translate @p page, request arriving from an SM at @p now.
+     * This is the lower level of every per-SM L1 TLB.
+     */
+    Translation translate(Addr page, Cycle now);
+
+    /** Pending (unresolved) faults at @p now. */
+    int pendingFaults(Cycle now);
+
+    const Tlb &l2Tlb() const { return l2tlb_; }
+
+    std::uint64_t walks() const { return walks_; }
+    std::uint64_t faults() const { return faults_; }
+    std::uint64_t joinedFaults() const { return joined_; }
+
+    void collectStats(StatSet &s) const;
+
+  private:
+    Translation walk(Addr page, Cycle now);
+
+    MmuConfig cfg_;
+    PageDirectory &dir_;
+    HostLink &link_;
+    GpuFaultHandler &gpuHandler_;
+    Tlb l2tlb_;
+    mem::Port walkers_;
+
+    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>>
+        outstandingFaults_;
+
+    std::uint64_t walks_ = 0;
+    std::uint64_t faults_ = 0;
+    std::uint64_t joined_ = 0;
+    std::uint64_t migrations_ = 0;
+    std::uint64_t cpuAllocs_ = 0;
+    std::uint64_t gpuAllocs_ = 0;
+};
+
+} // namespace gex::vm
+
+#endif // GEX_VM_FILL_UNIT_HPP

@@ -1,0 +1,70 @@
+#include "vm/host_link.hpp"
+
+namespace gex::vm {
+
+HostLinkConfig
+HostLinkConfig::nvlink()
+{
+    HostLinkConfig c;
+    c.name = "nvlink";
+    c.oneWayLatency = 4000;      // 4 us
+    c.cpuServiceCycles = 2000;   // 2 us (paper's CPU handler estimate)
+    c.linkBytesPerCycle = 32.0;  // 32 GB/s effective => 2 us per 64 KB
+    c.signalBytes = 4096;        // ~0.13 us signaling occupancy
+    return c;
+}
+
+HostLinkConfig
+HostLinkConfig::pcie()
+{
+    HostLinkConfig c;
+    c.name = "pcie";
+    c.oneWayLatency = 5000;      // 5 us
+    c.cpuServiceCycles = 2000;   // 2 us
+    c.linkBytesPerCycle = 5.0;   // small-transfer-effective => 13 us / 64 KB
+    c.signalBytes = 4096;        // ~0.8 us signaling occupancy
+    return c;
+}
+
+Cycle
+HostLink::serviceFault(Cycle detect, std::uint64_t migrate_bytes)
+{
+    ++faults_;
+    // Fault notification crosses the link (occupies it for signaling).
+    Cycle at_cpu = link_.transfer(detect, cfg_.signalBytes) +
+                   cfg_.oneWayLatency;
+    // CPU handler: page pinning, allocation, page table updates; one
+    // fault at a time (the paper's driver model).
+    Cycle cpu_start = std::max(at_cpu, cpuFree_);
+    Cycle cpu_done = cpu_start + cfg_.cpuServiceCycles;
+    cpuFree_ = cpu_done;
+    // Page data DMA (migrations only), serialized on the link.
+    Cycle data_done = cpu_done;
+    if (migrate_bytes > 0) {
+        data_done = link_.transfer(cpu_done, migrate_bytes);
+        bytesMigrated_ += migrate_bytes;
+    }
+    // Completion notification back to the GPU.
+    return data_done + cfg_.oneWayLatency;
+}
+
+Cycle
+HostLink::isolatedCost(std::uint64_t migrate_bytes) const
+{
+    Cycle sig = static_cast<Cycle>(
+        static_cast<double>(cfg_.signalBytes) / cfg_.linkBytesPerCycle);
+    Cycle xfer = static_cast<Cycle>(
+        static_cast<double>(migrate_bytes) / cfg_.linkBytesPerCycle);
+    return sig + 2 * cfg_.oneWayLatency + cfg_.cpuServiceCycles + xfer;
+}
+
+void
+HostLink::collectStats(StatSet &s) const
+{
+    const std::string p = "hostlink.";
+    s.set(p + "faults", static_cast<double>(faults_));
+    s.set(p + "bytes_migrated", static_cast<double>(bytesMigrated_));
+    s.set(p + "link_bytes", static_cast<double>(link_.totalBytes()));
+}
+
+} // namespace gex::vm

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Host interconnect + CPU fault handler cost model.
+ *
+ * Calibrated to the paper's measured per-fault round-trip costs
+ * (section 5.3): NVLink 12 us with migration / 10 us allocation-only,
+ * PCIe 3.0 25 us / 12 us, decomposed into a parallel propagation
+ * latency, a serialized CPU handler service time, and serialized link
+ * occupancy (signaling + page data). The serialized components are what
+ * produce contention when many faults are outstanding (sections 5.3,
+ * 5.4) — the effect the use cases exploit.
+ */
+
+#ifndef GEX_VM_HOST_LINK_HPP
+#define GEX_VM_HOST_LINK_HPP
+
+#include <string>
+
+#include "common/stats.hpp"
+#include "mem/port.hpp"
+
+namespace gex::vm {
+
+struct HostLinkConfig {
+    std::string name = "nvlink";
+    /** One-way propagation + software stack latency (parallel part). */
+    Cycle oneWayLatency = 4000;
+    /** CPU handler service time per fault (fully serialized). */
+    Cycle cpuServiceCycles = 2000;
+    /** Effective link bandwidth for page data (bytes per cycle). */
+    double linkBytesPerCycle = 32.0;
+    /** Per-fault request/response signaling occupancy on the link. */
+    std::uint64_t signalBytes = 4096;
+
+    /** Paper's NVLink estimate: 12 us migrate / 10 us alloc-only. */
+    static HostLinkConfig nvlink();
+    /** Paper's PCIe 3.0 estimate: 25 us migrate / 12 us alloc-only. */
+    static HostLinkConfig pcie();
+};
+
+/**
+ * Services CPU-handled faults. All methods are timestamp-functional:
+ * they reserve serialized resources in call order and return the cycle
+ * at which the GPU page table update is visible.
+ */
+class HostLink
+{
+  public:
+    explicit HostLink(const HostLinkConfig &cfg)
+        : cfg_(cfg), link_(cfg.linkBytesPerCycle)
+    {}
+
+    const HostLinkConfig &config() const { return cfg_; }
+
+    /**
+     * CPU-handled fault detected at @p detect.
+     * @param migrate_bytes  page data to transfer (0 = allocation only)
+     * @return resolve time (faulting access may retry from then on)
+     */
+    Cycle serviceFault(Cycle detect, std::uint64_t migrate_bytes);
+
+    /** Isolated (contention-free) round-trip cost, for reporting. */
+    Cycle isolatedCost(std::uint64_t migrate_bytes) const;
+
+    std::uint64_t faultsServiced() const { return faults_; }
+    std::uint64_t bytesMigrated() const { return bytesMigrated_; }
+
+    void collectStats(StatSet &s) const;
+
+  private:
+    HostLinkConfig cfg_;
+    mem::BandwidthPipe link_;
+    Cycle cpuFree_ = 0;
+    std::uint64_t faults_ = 0;
+    std::uint64_t bytesMigrated_ = 0;
+};
+
+} // namespace gex::vm
+
+#endif // GEX_VM_HOST_LINK_HPP

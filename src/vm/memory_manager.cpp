@@ -1,0 +1,65 @@
+#include "vm/memory_manager.hpp"
+
+namespace gex::vm {
+
+VmPolicy
+VmPolicy::allResident()
+{
+    return VmPolicy{};
+}
+
+VmPolicy
+VmPolicy::demandPaging()
+{
+    VmPolicy p;
+    p.inputs = RegionState::CpuOwned;
+    p.outputs = RegionState::Untouched;
+    p.heap = RegionState::Untouched;
+    p.localHandling = false;
+    return p;
+}
+
+VmPolicy
+VmPolicy::outputFaults(bool local)
+{
+    VmPolicy p;
+    p.outputs = RegionState::Untouched;
+    p.localHandling = local;
+    return p;
+}
+
+VmPolicy
+VmPolicy::heapFaults(bool local)
+{
+    VmPolicy p;
+    p.heap = RegionState::Untouched;
+    p.localHandling = local;
+    return p;
+}
+
+void
+applyPolicy(PageDirectory &dir, const func::Kernel &kernel,
+            const VmPolicy &policy)
+{
+    for (const func::Buffer &b : kernel.buffers) {
+        RegionState st = RegionState::GpuResident;
+        switch (b.kind) {
+          case func::BufferKind::Input:
+            st = policy.inputs;
+            break;
+          case func::BufferKind::Output:
+            st = policy.outputs;
+            break;
+          case func::BufferKind::InOut:
+            // Read-write data is dirty wherever inputs live.
+            st = policy.inputs;
+            break;
+          case func::BufferKind::Heap:
+            st = policy.heap;
+            break;
+        }
+        dir.setRange(b.base, b.bytes, st);
+    }
+}
+
+} // namespace gex::vm

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Memory manager: lays out kernel buffers in the virtual address
+ * space and applies a paging policy (which buffer classes start
+ * CPU-owned / untouched / resident) to the page directory. Each
+ * evaluation mode of the paper maps to one policy preset.
+ */
+
+#ifndef GEX_VM_MEMORY_MANAGER_HPP
+#define GEX_VM_MEMORY_MANAGER_HPP
+
+#include "func/kernel.hpp"
+#include "vm/page_table.hpp"
+
+namespace gex::vm {
+
+/** Initial residency per buffer class (see func::BufferKind). */
+struct VmPolicy {
+    RegionState inputs = RegionState::GpuResident;
+    RegionState outputs = RegionState::GpuResident;
+    RegionState heap = RegionState::GpuResident;
+    /** UC2: first-touch faults handled by the GPU-local handler. */
+    bool localHandling = false;
+
+    /** Fault-free runs (Figures 10, 11): everything resident. */
+    static VmPolicy allResident();
+    /**
+     * On-demand paging (Figure 12): all data starts in CPU memory —
+     * inputs dirty (migration), outputs clean (CPU allocation only).
+     */
+    static VmPolicy demandPaging();
+    /**
+     * Output-page faults (Figure 14): inputs resident, output pages
+     * first-touch; @p local selects GPU-side handling vs CPU baseline.
+     */
+    static VmPolicy outputFaults(bool local);
+    /**
+     * Device-malloc faults (Figure 13): only heap pages first-touch;
+     * @p local selects GPU-side handling vs CPU baseline.
+     */
+    static VmPolicy heapFaults(bool local);
+};
+
+/**
+ * Simple bump allocator for buffer virtual addresses, aligned to the
+ * fault-handling granularity so buffers never share a region.
+ */
+class AddressSpace
+{
+  public:
+    explicit AddressSpace(Addr base = 16ull * 1024 * 1024,
+                          Addr align = kDefaultMigrationBytes)
+        : next_(base), align_(align)
+    {}
+
+    Addr
+    allocate(std::uint64_t bytes)
+    {
+        Addr a = next_;
+        next_ += (bytes + align_ - 1) / align_ * align_;
+        return a;
+    }
+
+  private:
+    Addr next_;
+    Addr align_;
+};
+
+/** Program @p dir with the initial residency of @p kernel's buffers. */
+void applyPolicy(PageDirectory &dir, const func::Kernel &kernel,
+                 const VmPolicy &policy);
+
+} // namespace gex::vm
+
+#endif // GEX_VM_MEMORY_MANAGER_HPP

@@ -1,0 +1,71 @@
+#include "vm/page_table.hpp"
+
+#include "common/log.hpp"
+
+namespace gex::vm {
+
+void
+PageDirectory::setRange(Addr base, std::uint64_t bytes, RegionState st)
+{
+    if (bytes == 0)
+        return;
+    Addr first = regionOf(base);
+    Addr last = regionOf(base + bytes - 1);
+    for (Addr r = first; r <= last; ++r)
+        regions_[r] = Entry{st, 0};
+}
+
+const PageDirectory::Entry *
+PageDirectory::lookup(Addr addr) const
+{
+    auto it = regions_.find(regionOf(addr));
+    return it == regions_.end() ? nullptr : &it->second;
+}
+
+RegionState
+PageDirectory::stateAt(Addr addr, Cycle now) const
+{
+    const Entry *e = lookup(addr);
+    if (!e)
+        return RegionState::GpuResident;
+    if (e->state == RegionState::Pending && now >= e->readyAt) {
+        // Lazy transition: the fault resolved in the past.
+        auto &me = regions_[regionOf(addr)];
+        me.state = RegionState::GpuResident;
+        return RegionState::GpuResident;
+    }
+    return e->state;
+}
+
+Cycle
+PageDirectory::pendingReadyAt(Addr addr) const
+{
+    const Entry *e = lookup(addr);
+    GEX_ASSERT(e && e->state == RegionState::Pending,
+               "pendingReadyAt on non-pending region");
+    return e->readyAt;
+}
+
+void
+PageDirectory::beginPending(Addr addr, Cycle ready)
+{
+    regions_[regionOf(addr)] = Entry{RegionState::Pending, ready};
+}
+
+std::uint64_t
+PageDirectory::residentRegions() const
+{
+    std::uint64_t n = 0;
+    for (const auto &kv : regions_)
+        if (kv.second.state == RegionState::GpuResident)
+            ++n;
+    return n;
+}
+
+void
+PageDirectory::collectStats(StatSet &s) const
+{
+    s.set("pagedir.regions_tracked", static_cast<double>(regions_.size()));
+}
+
+} // namespace gex::vm

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Page directory: per-region residency state driving the demand-paging
+ * experiments. Handling granularity is 64 KB (paper section 5.1), i.e.
+ * one fault migrates/allocates a whole region of 16 pages.
+ */
+
+#ifndef GEX_VM_PAGE_TABLE_HPP
+#define GEX_VM_PAGE_TABLE_HPP
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace gex::vm {
+
+/** Residency / ownership state of a memory region. */
+enum class RegionState : std::uint8_t {
+    GpuResident,  ///< PTEs valid; accesses translate normally
+    CpuOwned,     ///< dirty in CPU memory: fault requires migration
+    Untouched,    ///< first touch: fault requires allocation only
+    Pending,      ///< fault in flight; becomes GpuResident at readyAt
+};
+
+/**
+ * Region-granular page directory. Addresses not covered by any
+ * configured region default to GpuResident (simulator-internal
+ * structures and prepopulated runs never fault).
+ */
+class PageDirectory
+{
+  public:
+    explicit PageDirectory(Addr region_bytes = kDefaultMigrationBytes)
+        : regionBytes_(region_bytes)
+    {}
+
+    Addr regionBytes() const { return regionBytes_; }
+    Addr regionOf(Addr a) const { return a / regionBytes_; }
+
+    /** Mark [base, base+bytes) with the given initial state. */
+    void setRange(Addr base, std::uint64_t bytes, RegionState st);
+
+    /** Effective state of the region covering @p addr at @p now. */
+    RegionState stateAt(Addr addr, Cycle now) const;
+
+    /** True when a fault on @p addr at @p now joins an in-flight one. */
+    bool
+    isPending(Addr addr, Cycle now) const
+    {
+        return stateAt(addr, now) == RegionState::Pending;
+    }
+
+    /** Resolve time of the pending fault covering @p addr. */
+    Cycle pendingReadyAt(Addr addr) const;
+
+    /** Transition the region covering @p addr to Pending until @p ready. */
+    void beginPending(Addr addr, Cycle ready);
+
+    std::uint64_t residentRegions() const;
+
+    void collectStats(StatSet &s) const;
+
+  private:
+    struct Entry {
+        RegionState state = RegionState::GpuResident;
+        Cycle readyAt = 0;
+    };
+
+    const Entry *lookup(Addr addr) const;
+
+    Addr regionBytes_;
+    mutable std::unordered_map<Addr, Entry> regions_;
+};
+
+} // namespace gex::vm
+
+#endif // GEX_VM_PAGE_TABLE_HPP

@@ -1,0 +1,117 @@
+#include "vm/tlb.hpp"
+
+#include "common/log.hpp"
+
+namespace gex::vm {
+
+Tlb::Tlb(const TlbConfig &cfg)
+    : cfg_(cfg), numSets_(cfg.entries / cfg.ways),
+      ways_(static_cast<size_t>(cfg.entries))
+{
+    GEX_ASSERT(numSets_ > 0, "TLB %s too small", cfg.name.c_str());
+}
+
+int
+Tlb::findWay(std::uint64_t set, Addr page) const
+{
+    const Way *base = &ways_[set * cfg_.ways];
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w)
+        if (base[w].tag == page)
+            return static_cast<int>(w);
+    return -1;
+}
+
+void
+Tlb::insert(std::uint64_t set, Addr page)
+{
+    Way *base = &ways_[set * cfg_.ways];
+    std::uint32_t victim = 0;
+    for (std::uint32_t w = 1; w < cfg_.ways; ++w)
+        if (base[w].lastUse < base[victim].lastUse)
+            victim = w;
+    base[victim].tag = page;
+    base[victim].lastUse = ++useClock_;
+}
+
+void
+Tlb::drainPending(Cycle now)
+{
+    // Lazy cleanup keeps the map bounded by in-flight misses.
+    if (pending_.size() < cfg_.missQueue * 4)
+        return;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->second.expires <= now)
+            it = pending_.erase(it);
+        else
+            ++it;
+    }
+}
+
+Translation
+Tlb::translate(Addr page, Cycle now, const LowerFn &lower)
+{
+    std::uint64_t set = setIndex(page);
+    int way = findWay(set, page);
+    // PTEs are installed when the fill is issued; accesses to a page
+    // whose fill (or fault) is still in flight merge into it.
+    auto it = pending_.find(page);
+    if (it != pending_.end() && it->second.expires > now) {
+        ++merges_;
+        Translation t = it->second.result;
+        if (t.fault) {
+            t.kind = FaultKind::Joined;
+        } else if (t.ready < now + cfg_.latency) {
+            t.ready = now + cfg_.latency;
+        }
+        if (way >= 0)
+            ways_[set * cfg_.ways + static_cast<std::uint64_t>(way)]
+                .lastUse = ++useClock_;
+        return t;
+    }
+    if (way >= 0) {
+        ++hits_;
+        ways_[set * cfg_.ways + static_cast<std::uint64_t>(way)].lastUse =
+            ++useClock_;
+        Translation t;
+        t.ready = now + cfg_.latency;
+        return t;
+    }
+
+    ++misses_;
+    drainPending(now);
+    Translation t = lower(page, now + cfg_.latency);
+    if (t.fault) {
+        // Do not cache; remember so same-page requests join the fault.
+        pending_[page] = PendingMiss{t, t.resolve};
+    } else {
+        insert(set, page);
+        pending_[page] = PendingMiss{t, t.ready};
+    }
+    return t;
+}
+
+bool
+Tlb::contains(Addr page) const
+{
+    return findWay(setIndex(page), page) >= 0;
+}
+
+void
+Tlb::flush()
+{
+    for (Way &w : ways_)
+        w = Way{};
+    pending_.clear();
+}
+
+void
+Tlb::collectStats(StatSet &s) const
+{
+    // add(), not set(): per-SM instances accumulate into one total.
+    const std::string p = cfg_.name + ".";
+    s.add(p + "hits", static_cast<double>(hits_));
+    s.add(p + "misses", static_cast<double>(misses_));
+    s.add(p + "merges", static_cast<double>(merges_));
+}
+
+} // namespace gex::vm

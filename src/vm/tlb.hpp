@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Set-associative TLB with outstanding-miss merging, plus the
+ * Translation result type that flows back to the LSU (including page
+ * fault disposition — the input to the exception schemes).
+ */
+
+#ifndef GEX_VM_TLB_HPP
+#define GEX_VM_TLB_HPP
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace gex::vm {
+
+/** How a page fault is being resolved. */
+enum class FaultKind : std::uint8_t {
+    None,       ///< no fault
+    Migration,  ///< CPU-owned dirty page: CPU handler + data transfer
+    CpuAlloc,   ///< first touch handled by the CPU (allocation only)
+    GpuAlloc,   ///< first touch handled by the GPU-local handler (UC2)
+    Joined,     ///< joined an already in-flight fault on the region
+};
+
+/** Outcome of translating one memory request's page. */
+struct Translation {
+    bool fault = false;
+    Cycle ready = 0;    ///< translation-complete time (no fault)
+    Cycle detect = 0;   ///< fault detect time (walk completion)
+    Cycle resolve = 0;  ///< PTE valid from this cycle on
+    FaultKind kind = FaultKind::None;
+    int queueDepth = 0; ///< pending faults ahead at detect (UC1 input)
+};
+
+struct TlbConfig {
+    std::string name = "tlb";
+    std::uint32_t entries = 32;
+    std::uint32_t ways = 8;
+    Cycle latency = 1;       ///< hit latency
+    std::uint32_t missQueue = 32; ///< outstanding distinct-page misses
+};
+
+/**
+ * Timing TLB. On a miss the lower-level callback produces the
+ * Translation; concurrent misses to the same page share it. Faulting
+ * translations are never cached.
+ */
+class Tlb
+{
+  public:
+    /** Lower level: (page, earliest) -> Translation. */
+    using LowerFn = std::function<Translation(Addr, Cycle)>;
+
+    explicit Tlb(const TlbConfig &cfg);
+
+    Translation translate(Addr page, Cycle now, const LowerFn &lower);
+
+    /** Probe tags without side effects. */
+    bool contains(Addr page) const;
+
+    void flush();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t merges() const { return merges_; }
+
+    void collectStats(StatSet &s) const;
+
+  private:
+    struct Way {
+        Addr tag = kBadAddr;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t setIndex(Addr page) const { return page % numSets_; }
+    int findWay(std::uint64_t set, Addr page) const;
+    void insert(std::uint64_t set, Addr page);
+    void drainPending(Cycle now);
+
+    TlbConfig cfg_;
+    std::uint64_t numSets_;
+    std::vector<Way> ways_;
+    std::uint64_t useClock_ = 0;
+
+    /** Outstanding misses by page; entries expire at their end time. */
+    struct PendingMiss {
+        Translation result;
+        Cycle expires;
+    };
+    std::unordered_map<Addr, PendingMiss> pending_;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t merges_ = 0;
+};
+
+} // namespace gex::vm
+
+#endif // GEX_VM_TLB_HPP

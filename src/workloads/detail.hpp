@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Internal helpers shared by the workload generators.
+ */
+
+#ifndef GEX_WORKLOADS_DETAIL_HPP
+#define GEX_WORKLOADS_DETAIL_HPP
+
+#include <bit>
+
+#include "common/stats.hpp"
+#include "func/kernel.hpp"
+#include "func/memory.hpp"
+#include "kasm/builder.hpp"
+#include "vm/memory_manager.hpp"
+
+namespace gex::workloads::detail {
+
+/** Buffer layout + init context for one workload build. */
+struct Ctx {
+    explicit Ctx(func::GlobalMemory &m) : mem(m) {}
+
+    func::GlobalMemory &mem;
+    vm::AddressSpace as{16ull << 20};
+    func::Kernel k;
+    Rng rng{0x5eed5eed1234ull};
+
+    Addr
+    buf(const char *name, std::uint64_t bytes, func::BufferKind kind)
+    {
+        Addr a = as.allocate(bytes);
+        k.buffers.push_back(func::Buffer{name, a, bytes, kind});
+        return a;
+    }
+
+    /** Deterministic small double in [-1, 1). */
+    double
+    smallReal()
+    {
+        return rng.real() * 2.0 - 1.0;
+    }
+};
+
+inline std::uint64_t
+f64Param(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+// Parboil-like kernels (parboil.cpp).
+func::Kernel makeSgemm(func::GlobalMemory &mem, int scale);
+func::Kernel makeStencil(func::GlobalMemory &mem, int scale);
+func::Kernel makeLbm(func::GlobalMemory &mem, int scale);
+func::Kernel makeHisto(func::GlobalMemory &mem, int scale);
+func::Kernel makeSpmv(func::GlobalMemory &mem, int scale);
+func::Kernel makeBfs(func::GlobalMemory &mem, int scale);
+func::Kernel makeSad(func::GlobalMemory &mem, int scale);
+func::Kernel makeMriQ(func::GlobalMemory &mem, int scale);
+func::Kernel makeMriGridding(func::GlobalMemory &mem, int scale);
+func::Kernel makeCutcp(func::GlobalMemory &mem, int scale);
+func::Kernel makeTpacf(func::GlobalMemory &mem, int scale);
+
+// Halloc-like + quad-tree kernels (halloc.cpp).
+func::Kernel makeHaProb(func::GlobalMemory &mem, int scale);
+func::Kernel makeHaGrid(func::GlobalMemory &mem, int scale);
+func::Kernel makeHaTree(func::GlobalMemory &mem, int scale);
+func::Kernel makeHaQueue(func::GlobalMemory &mem, int scale);
+func::Kernel makeQuadTree(func::GlobalMemory &mem, int scale);
+
+} // namespace gex::workloads::detail
+
+#endif // GEX_WORKLOADS_DETAIL_HPP

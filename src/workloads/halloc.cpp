@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Halloc-like dynamic-allocation benchmarks and the quad-tree CUDA SDK
+ * port (paper section 5.4, Figure 13). Every kernel allocates device
+ * heap memory (ALLOC: an atomic bump on the heap cursor) and writes to
+ * the fresh pages, producing first-touch faults on unmapped regions —
+ * the fault stream that UC2's GPU-local handler accelerates.
+ */
+
+#include "workloads/detail.hpp"
+
+#include "common/log.hpp"
+
+namespace gex::workloads::detail {
+
+using kasm::Cmp;
+using kasm::KernelBuilder;
+using kasm::Reg;
+using kasm::SpecialReg;
+
+namespace {
+constexpr Reg R(int i) { return static_cast<Reg>(i); }
+constexpr isa::Reg RZ = isa::kRegZero;
+
+/**
+ * Integer hash rounds standing in for the per-element work the Halloc
+ * benchmarks do around their allocations (fault handling should not be
+ * the *only* thing these kernels do).
+ */
+void
+emitHashRounds(KernelBuilder &b, Reg v, Reg tmp, int rounds)
+{
+    for (int i = 0; i < rounds; ++i) {
+        b.imuli(tmp, v, 2654435761);
+        b.shri(tmp, tmp, 13);
+        b.xor_(v, v, tmp);
+        b.imuli(v, v, 2246822519);
+        b.shri(tmp, v, 7);
+        b.iadd(v, v, tmp);
+    }
+}
+
+/** Configure a device heap sized for @p bytes of allocations. */
+Addr
+setupHeap(Ctx &c, std::uint64_t bytes)
+{
+    std::uint64_t sz = (bytes + (1u << 20)) / kDefaultMigrationBytes *
+                           kDefaultMigrationBytes +
+                       kDefaultMigrationBytes;
+    Addr heap = c.buf("heap", sz, func::BufferKind::Heap);
+    c.mem.setHeap(heap, sz);
+    return heap;
+}
+} // namespace
+
+// ---------------------------------------------------------------------------
+// ha-prob: probabilistic throughput test — every thread repeatedly
+// allocates a small chunk and initializes it (halloc's prob-throughput).
+
+func::Kernel
+makeHaProb(func::GlobalMemory &mem, int scale)
+{
+    const std::uint32_t blocks = 48u * static_cast<std::uint32_t>(scale);
+    const std::uint64_t threads = static_cast<std::uint64_t>(blocks) * 128;
+    const int allocs = 3;
+    const std::int64_t chunk = 160;
+    Ctx c(mem);
+    Addr out = c.buf("out", threads * 8, func::BufferKind::Output);
+    setupHeap(c, threads * allocs * chunk);
+
+    KernelBuilder b("ha-prob");
+    b.setNumParams(1);
+    b.s2r(R(0), SpecialReg::GlobalTid);
+    b.ldparam(R(1), 0);
+    b.movi(R(2), chunk);
+    b.movi(R(7), 0); // checksum
+    for (int a = 0; a < allocs; ++a) {
+        b.alloc(R(3), R(2));
+        // Initialize the chunk.
+        b.stGlobal(R(3), 0, R(0));
+        b.stGlobal(R(3), 64, R(0));
+        b.ldGlobal(R(4), R(3));
+        b.iadd(R(7), R(7), R(4));
+        // Work between allocations.
+        emitHashRounds(b, R(7), R(5), 8);
+    }
+    b.shli(R(6), R(0), 3);
+    b.iadd(R(6), R(6), R(1));
+    b.stGlobal(R(6), 0, R(7));
+    b.exit();
+
+    c.k.program = b.build();
+    c.k.grid = {blocks, 1, 1};
+    c.k.block = {128, 1, 1};
+    c.k.params = {out};
+    return c.k;
+}
+
+// ---------------------------------------------------------------------------
+// ha-grid: grid-points — each thread allocates a per-cell record and
+// fills it with strided writes (one write per cache line).
+
+func::Kernel
+makeHaGrid(func::GlobalMemory &mem, int scale)
+{
+    const std::uint32_t blocks = 48u * static_cast<std::uint32_t>(scale);
+    const std::uint64_t threads = static_cast<std::uint64_t>(blocks) * 128;
+    const std::int64_t rec = 320;
+    Ctx c(mem);
+    Addr cells = c.buf("cells", threads * 8, func::BufferKind::Output);
+    setupHeap(c, threads * rec);
+
+    KernelBuilder b("ha-grid");
+    b.setNumParams(1);
+    b.s2r(R(0), SpecialReg::GlobalTid);
+    b.ldparam(R(1), 0);
+    b.movi(R(2), rec);
+    b.alloc(R(3), R(2));
+    for (int i = 0; i < 4; ++i)
+        b.stGlobal(R(3), i * 64, R(0));
+    // Read one field back and derive a value (dependency on the heap).
+    b.ldGlobal(R(4), R(3), 128);
+    emitHashRounds(b, R(4), R(7), 16);
+    b.stGlobal(R(3), 8, R(4));
+    b.shli(R(5), R(0), 3);
+    b.iadd(R(5), R(5), R(1));
+    b.stGlobal(R(5), 0, R(3)); // publish the cell pointer
+    b.exit();
+
+    c.k.program = b.build();
+    c.k.grid = {blocks, 1, 1};
+    c.k.block = {128, 1, 1};
+    c.k.params = {cells};
+    return c.k;
+}
+
+// ---------------------------------------------------------------------------
+// ha-tree: linked structure build — each thread chains a few nodes,
+// storing parent pointers (pointer-chasing writes into fresh pages).
+
+func::Kernel
+makeHaTree(func::GlobalMemory &mem, int scale)
+{
+    const std::uint32_t blocks = 48u * static_cast<std::uint32_t>(scale);
+    const std::uint64_t threads = static_cast<std::uint64_t>(blocks) * 128;
+    const int depth = 4;
+    const std::int64_t node = 160;
+    Ctx c(mem);
+    Addr roots = c.buf("roots", threads * 8, func::BufferKind::Output);
+    setupHeap(c, threads * depth * node);
+
+    KernelBuilder b("ha-tree");
+    b.setNumParams(1);
+    b.s2r(R(0), SpecialReg::GlobalTid);
+    b.ldparam(R(1), 0);
+    b.movi(R(2), node);
+    b.mov(R(5), RZ); // parent = null
+    for (int d = 0; d < depth; ++d) {
+        b.alloc(R(3), R(2));
+        b.stGlobal(R(3), 0, R(5));  // node->parent
+        b.stGlobal(R(3), 8, R(0));  // node->key
+        b.mov(R(5), R(3));
+    }
+    b.shli(R(6), R(0), 3);
+    b.iadd(R(6), R(6), R(1));
+    b.stGlobal(R(6), 0, R(5));
+    // Walk back up the chain (loads from the fresh pages).
+    b.movi(R(7), 0);
+    for (int d = 0; d < depth; ++d) {
+        b.ldGlobal(R(8), R(5), 8);
+        b.iadd(R(7), R(7), R(8));
+        emitHashRounds(b, R(7), R(9), 6);
+        b.ldGlobal(R(5), R(5), 0);
+    }
+    b.stGlobal(R(6), 0, R(7));
+    b.exit();
+
+    c.k.program = b.build();
+    c.k.grid = {blocks, 1, 1};
+    c.k.block = {128, 1, 1};
+    c.k.params = {roots};
+    return c.k;
+}
+
+// ---------------------------------------------------------------------------
+// ha-queue: segment queue — threads allocate segments, fill them and
+// publish via atomic exchange into a slot table.
+
+func::Kernel
+makeHaQueue(func::GlobalMemory &mem, int scale)
+{
+    const std::uint32_t blocks = 48u * static_cast<std::uint32_t>(scale);
+    const std::uint64_t threads = static_cast<std::uint64_t>(blocks) * 128;
+    const std::int64_t seg = 512;
+    const std::int64_t slots = 4096; // power of two
+    Ctx c(mem);
+    Addr table = c.buf("slots", static_cast<std::uint64_t>(slots) * 8,
+                       func::BufferKind::InOut);
+    setupHeap(c, threads * seg);
+
+    KernelBuilder b("ha-queue");
+    b.setNumParams(1);
+    b.s2r(R(0), SpecialReg::GlobalTid);
+    b.ldparam(R(1), 0);
+    b.movi(R(2), seg);
+    b.alloc(R(3), R(2));
+    for (int i = 0; i < 8; ++i)
+        b.stGlobal(R(3), i * 64, R(0));
+    b.mov(R(4), R(0));
+    emitHashRounds(b, R(4), R(7), 12);
+    b.andi(R(4), R(4), slots - 1);
+    b.shli(R(4), R(4), 3);
+    b.iadd(R(4), R(4), R(1));
+    b.atomExch(R(5), R(4), R(3)); // publish; returns previous segment
+    // Consume the previous segment if there was one.
+    b.setpi(0, Cmp::NE, R(5), 0);
+    auto skip = b.label();
+    b.ssy(skip);
+    b.guard(0, true); // @!p0 -> skip consumption
+    b.bra(skip);
+    b.clearGuard();
+    b.ldGlobal(R(6), R(5));
+    b.stGlobal(R(3), 8, R(6));
+    b.bind(skip);
+    b.join();
+    b.exit();
+
+    c.k.program = b.build();
+    c.k.grid = {blocks, 1, 1};
+    c.k.block = {128, 1, 1};
+    c.k.params = {table};
+    return c.k;
+}
+
+// ---------------------------------------------------------------------------
+// quad-tree: the CUDA SDK sample ported to dynamic allocation (paper
+// section 5.4): nodes allocate their children on demand instead of
+// preallocating the full tree; per-node point counts drive divergent
+// allocation decisions.
+
+func::Kernel
+makeQuadTree(func::GlobalMemory &mem, int scale)
+{
+    const std::uint32_t blocks = 48u * static_cast<std::uint32_t>(scale);
+    const std::uint64_t threads = static_cast<std::uint64_t>(blocks) * 128;
+    const std::int64_t node = 160; // node descriptor + 4 child slots
+    const std::int64_t threshold = 8;
+    Ctx c(mem);
+    Addr counts = c.buf("counts", threads * 8, func::BufferKind::Input);
+    Addr nodes = c.buf("nodes", threads * 8, func::BufferKind::Output);
+    setupHeap(c, threads * 5 * node);
+    // ~60% of the nodes exceed the split threshold.
+    for (std::uint64_t i = 0; i < threads; ++i)
+        mem.write64(counts + i * 8, c.rng.below(20));
+
+    KernelBuilder b("quad-tree");
+    b.setNumParams(2);
+    b.s2r(R(0), SpecialReg::GlobalTid);
+    b.ldparam(R(1), 0);
+    b.ldparam(R(2), 1);
+    b.movi(R(3), node);
+    b.shli(R(10), R(0), 3);
+    b.iadd(R(10), R(10), R(1));
+    b.ldGlobal(R(4), R(10));            // point count of this node
+    b.mov(R(8), R(4));
+    emitHashRounds(b, R(8), R(9), 12);  // point classification work
+    b.alloc(R(5), R(3));                // the node itself
+    b.stGlobal(R(5), 0, R(4));
+    b.setpi(0, Cmp::GT, R(4), threshold);
+    auto leaf = b.label();
+    b.ssy(leaf);
+    b.guard(0, true);
+    b.bra(leaf);                        // divergent: leaves skip split
+    b.clearGuard();
+    for (int ch = 0; ch < 4; ++ch) {    // allocate the four children
+        b.alloc(R(6), R(3));
+        b.shri(R(7), R(4), 2);
+        b.stGlobal(R(6), 0, R(7));      // child point count
+        b.stGlobal(R(6), 8, R(5));      // child->parent
+        b.stGlobal(R(5), 8 + ch * 8, R(6)); // parent->child[ch]
+    }
+    b.bind(leaf);
+    b.join();
+    b.shli(R(10), R(0), 3);
+    b.iadd(R(10), R(10), R(2));
+    b.stGlobal(R(10), 0, R(5));
+    b.exit();
+
+    c.k.program = b.build();
+    c.k.grid = {blocks, 1, 1};
+    c.k.block = {128, 1, 1};
+    c.k.params = {counts, nodes};
+    return c.k;
+}
+
+} // namespace gex::workloads::detail

@@ -1,0 +1,873 @@
+/**
+ * @file
+ * Parboil-like workload generators (see workloads.hpp and DESIGN.md).
+ *
+ * Each kernel reproduces the microarchitectural behaviour of its
+ * Parboil namesake that the paper's figures depend on:
+ *
+ *  - sgemm:        tiled matmul, shared-memory staging, FFMA-dense
+ *  - stencil:      3D 7-point, memory streaming, predicated halo
+ *  - lbm:          19 loads/stores via an incremented address register
+ *                  (WAR chains) at 128 regs/thread -> 8-warp occupancy;
+ *                  the paper's worst case for wd/rq schemes
+ *  - histo:        data-dependent global atomics
+ *  - spmv:         CSR gather, divergent row loops
+ *  - bfs:          frontier check + divergent edge loops + atomics
+ *  - sad:          integer ALU block matching, fully coalesced
+ *  - mri-q:        SFU-heavy (sin/cos) compute bound, broadcast loads
+ *  - mri-gridding: SFU + two-orders-of-magnitude block load imbalance
+ *  - cutcp:        compute bound, rsqrt inner loop, cached atom data
+ *  - tpacf:        shared-memory histogram + log2 binning
+ */
+
+#include "workloads/detail.hpp"
+
+#include "common/log.hpp"
+
+namespace gex::workloads::detail {
+
+using kasm::Cmp;
+using kasm::KernelBuilder;
+using kasm::PLogic;
+using kasm::Reg;
+using kasm::SpecialReg;
+
+namespace {
+constexpr Reg R(int i) { return static_cast<Reg>(i); }
+constexpr isa::Reg RZ = isa::kRegZero;
+} // namespace
+
+// ---------------------------------------------------------------------------
+
+func::Kernel
+makeSgemm(func::GlobalMemory &mem, int scale)
+{
+    const std::uint32_t dim = 96u * static_cast<std::uint32_t>(scale) + 32;
+    GEX_ASSERT(dim % 16 == 0);
+    Ctx c(mem);
+
+    const std::uint64_t n = static_cast<std::uint64_t>(dim) * dim;
+    Addr A = c.buf("A", n * 8, func::BufferKind::Input);
+    Addr B = c.buf("B", n * 8, func::BufferKind::Input);
+    Addr C = c.buf("C", n * 64, func::BufferKind::Output);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        mem.writeF64(A + i * 8, c.smallReal());
+        mem.writeF64(B + i * 8, c.smallReal());
+    }
+
+    KernelBuilder b("sgemm");
+    b.setNumParams(4);
+    b.setSharedBytes(4096); // two 16x16 double tiles
+
+    b.s2r(R(0), SpecialReg::TidX);
+    b.andi(R(1), R(0), 15);   // tx
+    b.shri(R(2), R(0), 4);    // ty
+    b.s2r(R(3), SpecialReg::CtaIdX);
+    b.s2r(R(4), SpecialReg::CtaIdY);
+    b.ldparam(R(7), 0);       // A
+    b.ldparam(R(8), 1);       // B
+    b.ldparam(R(9), 2);       // C
+    b.ldparam(R(10), 3);      // dim
+    b.shli(R(5), R(4), 4);
+    b.iadd(R(5), R(5), R(2)); // row
+    b.shli(R(6), R(3), 4);
+    b.iadd(R(6), R(6), R(1)); // col
+    b.movi(R(13), 0);         // acc = 0.0
+    b.movi(R(12), 0);         // kt
+    b.shli(R(17), R(0), 3);           // As store offset = tid*8
+    b.iaddi(R(18), R(17), 2048);      // Bs store offset
+    b.shli(R(19), R(2), 7);           // As read base = ty*128
+    b.shli(R(20), R(1), 3);           // Bs read base = tx*8 (+2048 via imm)
+
+    auto loop = b.label();
+    b.bind(loop);
+    // As[ty][tx] = A[row*dim + kt + tx]
+    b.imul(R(14), R(5), R(10));
+    b.iadd(R(14), R(14), R(12));
+    b.iadd(R(14), R(14), R(1));
+    b.shli(R(14), R(14), 3);
+    b.iadd(R(14), R(14), R(7));
+    b.ldGlobal(R(15), R(14));
+    b.stShared(R(17), 0, R(15));
+    // Bs[ty][tx] = B[col*dim + kt+ty] (B is stored column-major, as
+    // in Parboil's sgemm: a block's B panel is contiguous)
+    b.imul(R(14), R(6), R(10));
+    b.iadd(R(14), R(14), R(12));
+    b.iadd(R(14), R(14), R(2));
+    b.shli(R(14), R(14), 3);
+    b.iadd(R(14), R(14), R(8));
+    b.ldGlobal(R(15), R(14));
+    b.stShared(R(18), 0, R(15));
+    b.bar();
+    for (int i = 0; i < 16; ++i) {
+        b.ldShared(R(15), R(19), i * 8);
+        b.ldShared(R(16), R(20), 2048 + i * 128);
+        b.ffma(R(13), R(15), R(16), R(13));
+    }
+    b.bar();
+    b.iaddi(R(12), R(12), 16);
+    b.setp(0, Cmp::LT, R(12), R(10));
+    b.guard(0);
+    b.bra(loop);
+    b.clearGuard();
+    // C[row*dim + col] = acc. Output records are 64 B apart so the
+    // output footprint per unit compute matches the original
+    // benchmark's (the whole suite is scaled down ~100x).
+    b.imul(R(14), R(5), R(10));
+    b.iadd(R(14), R(14), R(6));
+    b.shli(R(14), R(14), 6);
+    b.iadd(R(14), R(14), R(9));
+    b.stGlobal(R(14), 0, R(13));
+    b.exit();
+
+    c.k.program = b.build();
+    c.k.grid = {dim / 16, dim / 16, 1};
+    c.k.block = {256, 1, 1};
+    c.k.params = {A, B, C, dim};
+    return c.k;
+}
+
+// ---------------------------------------------------------------------------
+
+func::Kernel
+makeStencil(func::GlobalMemory &mem, int scale)
+{
+    const std::int64_t N = 256;
+    const std::int64_t M = 64 * scale;
+    const std::int64_t D = 16;
+    Ctx c(mem);
+    const std::uint64_t cells =
+        static_cast<std::uint64_t>(N * M * (D + 2));
+    Addr in = c.buf("in", cells * 8, func::BufferKind::Input);
+    Addr out = c.buf("out", cells * 32, func::BufferKind::Output);
+    for (std::uint64_t i = 0; i < cells; ++i)
+        mem.writeF64(in + i * 8, c.smallReal());
+
+    const std::int64_t ys = N * 8;       // +-y line stride, bytes
+    const std::int64_t zs = N * M * 8;   // +-z plane stride, bytes
+    const double c0 = 0.55, c1 = 0.075;
+
+    KernelBuilder b("stencil");
+    b.setNumParams(2);
+    b.s2r(R(0), SpecialReg::CtaIdX);
+    b.shli(R(0), R(0), 7);
+    b.s2r(R(14), SpecialReg::TidX);
+    b.iadd(R(0), R(0), R(14));           // x
+    b.s2r(R(1), SpecialReg::CtaIdY);     // y
+    b.ldparam(R(2), 0);                  // in
+    b.ldparam(R(3), 1);                  // out
+    // interior predicate: 0 < x < N-1 and 0 < y < M-1
+    b.setpi(0, Cmp::GT, R(0), 0);
+    b.setpi(1, Cmp::LT, R(0), N - 1);
+    b.psetp(0, PLogic::And, 0, 1);
+    b.setpi(1, Cmp::GT, R(1), 0);
+    b.psetp(0, PLogic::And, 0, 1);
+    b.setpi(1, Cmp::LT, R(1), M - 1);
+    b.psetp(0, PLogic::And, 0, 1);
+    // base address at z=1: ((1*M + y)*N + x) * 8
+    b.iaddi(R(14), R(1), M);
+    b.imuli(R(14), R(14), N);
+    b.iadd(R(14), R(14), R(0));
+    b.shli(R(14), R(14), 3);
+    b.iadd(R(10), R(2), R(14));          // in addr
+    b.shli(R(15), R(14), 2);             // 32 B output records
+    b.iadd(R(11), R(3), R(15));          // out addr
+    b.movf(R(7), c0);
+    b.movf(R(8), c1);
+    b.movi(R(9), 1);                     // z
+
+    auto loop = b.label();
+    b.bind(loop);
+    b.ldGlobal(R(13), R(10));            // center
+    b.ldGlobal(R(14), R(10), 8);
+    b.ldGlobal(R(15), R(10), -8);
+    b.fadd(R(14), R(14), R(15));
+    b.ldGlobal(R(15), R(10), ys);
+    b.fadd(R(14), R(14), R(15));
+    b.ldGlobal(R(15), R(10), -ys);
+    b.fadd(R(14), R(14), R(15));
+    b.ldGlobal(R(15), R(10), zs);
+    b.fadd(R(14), R(14), R(15));
+    b.ldGlobal(R(15), R(10), -zs);
+    b.fadd(R(14), R(14), R(15));
+    b.fmul(R(13), R(13), R(7));
+    b.ffma(R(13), R(14), R(8), R(13));
+    b.guard(0);
+    b.stGlobal(R(11), 0, R(13));
+    b.clearGuard();
+    b.iaddi(R(10), R(10), zs);
+    b.iaddi(R(11), R(11), zs * 4);
+    b.iaddi(R(9), R(9), 1);
+    b.setpi(2, Cmp::LT, R(9), D + 1);
+    b.guard(2);
+    b.bra(loop);
+    b.clearGuard();
+    b.exit();
+
+    c.k.program = b.build();
+    c.k.grid = {static_cast<std::uint32_t>(N / 128),
+                static_cast<std::uint32_t>(M), 1};
+    c.k.block = {128, 1, 1};
+    c.k.params = {in, out};
+    return c.k;
+}
+
+// ---------------------------------------------------------------------------
+
+func::Kernel
+makeLbm(func::GlobalMemory &mem, int scale)
+{
+    const std::uint32_t blocks = 32u * static_cast<std::uint32_t>(scale);
+    const std::uint64_t n = static_cast<std::uint64_t>(blocks) * 256;
+    const std::uint64_t W = 4096;     // shared input window cells/array
+    const std::int64_t in_stride = static_cast<std::int64_t>(W) * 8;
+    const std::int64_t out_stride = static_cast<std::int64_t>(n) * 8;
+    Ctx c(mem);
+    // 19 input distribution arrays (SoA). The per-SM working set spans
+    // ~38 pages (19 input + 19 output arrays), thrashing the 32-entry
+    // L1 TLB exactly as the real lbm's scattered SoA accesses do; the
+    // input window is L2-resident so loads are latency- (not DRAM-)
+    // bound.
+    Addr in = c.buf("fin", 19 * W * 8, func::BufferKind::Input);
+    Addr out = c.buf("fout", 19 * n * 8, func::BufferKind::Output);
+    for (std::uint64_t i = 0; i < 19 * W; ++i)
+        mem.writeF64(in + i * 8, 0.05 + 0.001 * static_cast<double>(i % 97));
+
+    // D3Q19 lattice directions (x/y components) and weights, used in
+    // the per-direction equilibrium computation.
+    const double cx[19] = {0, 1, -1, 0, 0,  1,  1, -1, -1, 0,  0,
+                           1, -1, 1, -1, 1, -1,  1, -1};
+    const double cy[19] = {0, 0,  0, 1, -1, 1, -1,  1, -1, 0,  0,
+                           0,  0, 1,  1, -1, -1, -1,  1};
+    const double wgt[19] = {1. / 3,  1. / 18, 1. / 18, 1. / 18, 1. / 18,
+                            1. / 36, 1. / 36, 1. / 36, 1. / 36, 1. / 18,
+                            1. / 18, 1. / 36, 1. / 36, 1. / 36, 1. / 36,
+                            1. / 36, 1. / 36, 1. / 36, 1. / 36};
+
+    KernelBuilder b("lbm");
+    b.setNumParams(2);
+    // The real lbm kernel burns ~128 registers per thread, capping
+    // occupancy at 8 warps (1 block) per SM — the paper's key case.
+    b.setMinRegs(128);
+
+    b.s2r(R(0), SpecialReg::GlobalTid);
+    b.ldparam(R(1), 0);
+    b.ldparam(R(2), 1);
+    // Block-tiled gather window: all warps of a block stream the same
+    // 32-cell halo per direction (heavy L1 reuse, as the tiled lbm
+    // streaming step exhibits), offset per block within the window.
+    b.s2r(R(21), SpecialReg::CtaIdX);
+    b.imuli(R(21), R(21), 32);
+    b.s2r(R(23), SpecialReg::LaneId);
+    b.iadd(R(23), R(23), R(21));
+    b.andi(R(23), R(23), static_cast<std::int64_t>(W - 1));
+    b.shli(R(23), R(23), 3);
+    b.iadd(R(1), R(1), R(23));    // &fin[0][window + lane]
+    b.shli(R(23), R(0), 3);
+    b.iadd(R(2), R(2), R(23));    // &fout[0][gtid]
+    b.movi(R(27), 0);             // correction coefficient (0.0)
+    // 19 gathers through one stepped address register: every iadd is
+    // WAR-dependent on the previous load's source read -- where the
+    // replay-queue scheme's delayed source release bites (section 5.2).
+    for (int i = 0; i < 19; ++i) {
+        b.ldGlobal(R(3 + i), R(1));
+        if (i < 18)
+            b.iaddi(R(1), R(1), in_stride);
+    }
+    // Collision: density and momentum moments (serial FP chains).
+    b.mov(R(22), R(3));
+    for (int i = 1; i < 19; ++i)
+        b.fadd(R(22), R(22), R(3 + i));      // rho
+    b.movi(R(24), 0);
+    for (int i = 1; i < 19; i += 2)
+        b.fadd(R(24), R(24), R(3 + i));      // ux ~ sum of +x dirs
+    b.movi(R(25), 0);
+    for (int i = 2; i < 19; i += 2)
+        b.fadd(R(25), R(25), R(3 + i));      // uy ~ sum of +y dirs
+    b.frcp(R(26), R(22));
+    b.fmul(R(24), R(24), R(26));
+    b.fmul(R(25), R(25), R(26));
+    b.fmul(R(28), R(24), R(24));
+    b.ffma(R(28), R(25), R(25), R(28));      // usq
+    b.fmuli(R(28), R(28), 1.5);
+    // Per-direction BGK equilibrium + relaxation (~20 FLOPs each,
+    // matching the real kernel's ~470-instruction body).
+    for (int i = 0; i < 19; ++i) {
+        b.fmuli(R(29), R(24), cx[i]);
+        b.fmuli(R(30), R(25), cy[i]);
+        b.fadd(R(29), R(29), R(30));         // cu
+        b.fmuli(R(30), R(29), 3.0);
+        b.faddi(R(30), R(30), 1.0);
+        b.fmul(R(31), R(29), R(29));
+        b.fmuli(R(31), R(31), 4.5);
+        b.fadd(R(30), R(30), R(31));
+        b.fsub(R(30), R(30), R(28));         // 1 + 3cu + 4.5cu^2 - usq
+        b.fmul(R(31), R(22), R(30));
+        b.fmuli(R(31), R(31), wgt[i]);       // feq
+        b.fsub(R(31), R(31), R(3 + i));
+        b.fmuli(R(31), R(31), 0.1);          // omega (feq - f)
+        b.fadd(R(3 + i), R(3 + i), R(31));
+        b.fmuli(R(29), R(31), 0.5);          // second-moment correction
+        b.fmul(R(29), R(29), R(29));
+        b.ffma(R(3 + i), R(29), R(27), R(3 + i));
+    }
+    // 19 SoA stores through the second stepped address register.
+    for (int i = 0; i < 19; ++i) {
+        b.stGlobal(R(2), 0, R(3 + i));
+        if (i < 18)
+            b.iaddi(R(2), R(2), out_stride);
+    }
+    b.exit();
+
+    c.k.program = b.build();
+    c.k.grid = {blocks, 1, 1};
+    c.k.block = {256, 1, 1};
+    c.k.params = {in, out};
+    return c.k;
+}
+
+// ---------------------------------------------------------------------------
+
+func::Kernel
+makeHisto(func::GlobalMemory &mem, int scale)
+{
+    const std::uint32_t blocks = 96u * static_cast<std::uint32_t>(scale);
+    const std::uint64_t threads = static_cast<std::uint64_t>(blocks) * 256;
+    const int iters = 8;
+    const std::int64_t tstride = static_cast<std::int64_t>(threads) * 8;
+    Ctx c(mem);
+    Addr in = c.buf("in", threads * iters * 8, func::BufferKind::Input);
+    Addr bins = c.buf("bins", 1024 * 8, func::BufferKind::InOut);
+    Addr out = c.buf("out", threads * 64, func::BufferKind::Output);
+    for (std::uint64_t i = 0; i < threads * iters; ++i)
+        mem.write64(in + i * 8, c.rng.next());
+
+    KernelBuilder b("histo");
+    b.setNumParams(3);
+    b.s2r(R(0), SpecialReg::GlobalTid);
+    b.ldparam(R(1), 0);
+    b.ldparam(R(2), 1);
+    b.ldparam(R(3), 2);
+    b.shli(R(9), R(0), 3);
+    b.iadd(R(1), R(1), R(9)); // &in[gtid]
+    b.movi(R(7), 1);
+    b.movi(R(6), 0);
+    for (int k = 0; k < iters; ++k) {
+        b.ldGlobal(R(4), R(1), k * tstride);
+        b.andi(R(5), R(4), 1023);
+        b.shli(R(5), R(5), 3);
+        b.iadd(R(5), R(5), R(2));
+        b.atomAdd(RZ, R(5), R(7));
+        b.xor_(R(6), R(6), R(4));
+    }
+    // Per-thread digest written to the (large) output buffer.
+    b.shli(R(9), R(0), 6);
+    b.iadd(R(9), R(9), R(3));
+    b.stGlobal(R(9), 0, R(6));
+    b.stGlobal(R(9), 8, R(0));
+    b.stGlobal(R(9), 16, R(6));
+    b.stGlobal(R(9), 24, R(0));
+    b.exit();
+
+    c.k.program = b.build();
+    c.k.grid = {blocks, 1, 1};
+    c.k.block = {256, 1, 1};
+    c.k.params = {in, bins, out};
+    return c.k;
+}
+
+// ---------------------------------------------------------------------------
+
+func::Kernel
+makeSpmv(func::GlobalMemory &mem, int scale)
+{
+    const std::uint32_t blocks = 96u * static_cast<std::uint32_t>(scale);
+    const std::uint64_t nrows = static_cast<std::uint64_t>(blocks) * 128;
+    Ctx c(mem);
+
+    // CSR with jittered row lengths (8..24 nnz, mean ~16).
+    std::vector<std::uint64_t> rowptr(nrows + 1, 0);
+    for (std::uint64_t r = 0; r < nrows; ++r)
+        rowptr[r + 1] = rowptr[r] + 8 + c.rng.below(17);
+    const std::uint64_t nnz = rowptr[nrows];
+
+    Addr rp = c.buf("rowptr", (nrows + 1) * 8, func::BufferKind::Input);
+    Addr ci = c.buf("colidx", nnz * 8, func::BufferKind::Input);
+    Addr va = c.buf("vals", nnz * 8, func::BufferKind::Input);
+    Addr x = c.buf("x", nrows * 8, func::BufferKind::Input);
+    Addr y = c.buf("y", nrows * 64, func::BufferKind::Output);
+    for (std::uint64_t r = 0; r <= nrows; ++r)
+        mem.write64(rp + r * 8, rowptr[r]);
+    for (std::uint64_t j = 0; j < nnz; ++j) {
+        mem.write64(ci + j * 8, c.rng.below(nrows));
+        mem.writeF64(va + j * 8, c.smallReal());
+    }
+    for (std::uint64_t r = 0; r < nrows; ++r)
+        mem.writeF64(x + r * 8, c.smallReal());
+
+    KernelBuilder b("spmv");
+    b.setNumParams(5);
+    b.s2r(R(0), SpecialReg::GlobalTid);
+    b.ldparam(R(1), 0);
+    b.ldparam(R(2), 1);
+    b.ldparam(R(3), 2);
+    b.ldparam(R(4), 3);
+    b.ldparam(R(5), 4);
+    b.shli(R(10), R(0), 3);
+    b.iadd(R(10), R(10), R(1));
+    b.ldGlobal(R(6), R(10));      // row start
+    b.ldGlobal(R(7), R(10), 8);   // row end
+    b.movi(R(8), 0);              // acc
+    b.mov(R(9), R(6));            // j
+
+    auto lexit = b.label();
+    auto loop = b.label();
+    b.ssy(lexit);
+    b.bind(loop);
+    b.setp(0, Cmp::GE, R(9), R(7));
+    b.guard(0);
+    b.bra(lexit);                 // divergent row-length exit
+    b.clearGuard();
+    b.shli(R(10), R(9), 3);
+    b.iadd(R(10), R(10), R(2));
+    b.ldGlobal(R(11), R(10));     // col
+    b.shli(R(10), R(9), 3);
+    b.iadd(R(10), R(10), R(3));
+    b.ldGlobal(R(12), R(10));     // val
+    b.shli(R(10), R(11), 3);
+    b.iadd(R(10), R(10), R(4));
+    b.ldGlobal(R(13), R(10));     // x[col], gather
+    b.ffma(R(8), R(12), R(13), R(8));
+    b.iaddi(R(9), R(9), 1);
+    b.bra(loop);
+    b.bind(lexit);
+    b.join();
+    b.shli(R(10), R(0), 6); // 64 B output records (footprint scaling)
+    b.iadd(R(10), R(10), R(5));
+    b.stGlobal(R(10), 0, R(8));
+    b.exit();
+
+    c.k.program = b.build();
+    c.k.grid = {blocks, 1, 1};
+    c.k.block = {128, 1, 1};
+    c.k.params = {rp, ci, va, x, y};
+    return c.k;
+}
+
+// ---------------------------------------------------------------------------
+
+func::Kernel
+makeBfs(func::GlobalMemory &mem, int scale)
+{
+    const std::uint32_t blocks = 96u * static_cast<std::uint32_t>(scale);
+    const std::uint64_t n = static_cast<std::uint64_t>(blocks) * 128;
+    const std::int64_t level = 5;
+    Ctx c(mem);
+
+    std::vector<std::uint64_t> adjptr(n + 1, 0);
+    for (std::uint64_t v = 0; v < n; ++v)
+        adjptr[v + 1] = adjptr[v] + 4 + c.rng.below(9);
+    const std::uint64_t nedges = adjptr[n];
+
+    Addr depth = c.buf("depth", n * 8, func::BufferKind::InOut);
+    Addr ap = c.buf("adjptr", (n + 1) * 8, func::BufferKind::Input);
+    Addr al = c.buf("adjlist", nedges * 8, func::BufferKind::Input);
+    for (std::uint64_t v = 0; v < n; ++v)
+        mem.write64(depth + v * 8,
+                    v % 5 == 0 ? static_cast<std::uint64_t>(level) : 99);
+    for (std::uint64_t v = 0; v <= n; ++v)
+        mem.write64(ap + v * 8, adjptr[v]);
+    for (std::uint64_t e = 0; e < nedges; ++e)
+        mem.write64(al + e * 8, c.rng.below(n));
+
+    KernelBuilder b("bfs");
+    b.setNumParams(3);
+    b.s2r(R(0), SpecialReg::GlobalTid);
+    b.ldparam(R(1), 0);
+    b.ldparam(R(2), 1);
+    b.ldparam(R(3), 2);
+    b.shli(R(10), R(0), 3);
+    b.iadd(R(10), R(10), R(1));
+    b.ldGlobal(R(4), R(10));          // depth[node]
+    b.setpi(0, Cmp::NE, R(4), level); // not in frontier
+
+    auto end = b.label();
+    b.ssy(end);
+    b.guard(0);
+    b.bra(end);                       // divergent frontier skip
+    b.clearGuard();
+    b.shli(R(10), R(0), 3);
+    b.iadd(R(10), R(10), R(2));
+    b.ldGlobal(R(5), R(10));          // edge start
+    b.ldGlobal(R(6), R(10), 8);       // edge end
+    b.movi(R(9), level + 1);
+
+    auto lexit = b.label();
+    auto loop = b.label();
+    b.ssy(lexit);
+    b.bind(loop);
+    b.setp(1, Cmp::GE, R(5), R(6));
+    b.guard(1);
+    b.bra(lexit);                     // divergent degree exit
+    b.clearGuard();
+    b.shli(R(10), R(5), 3);
+    b.iadd(R(10), R(10), R(3));
+    b.ldGlobal(R(7), R(10));          // neighbour id
+    b.shli(R(10), R(7), 3);
+    b.iadd(R(10), R(10), R(1));
+    b.atomMin(RZ, R(10), R(9));       // relax neighbour depth
+    b.iaddi(R(5), R(5), 1);
+    b.bra(loop);
+    b.bind(lexit);
+    b.join();
+    b.bind(end);
+    b.join();
+    b.exit();
+
+    c.k.program = b.build();
+    c.k.grid = {blocks, 1, 1};
+    c.k.block = {128, 1, 1};
+    c.k.params = {depth, ap, al};
+    return c.k;
+}
+
+// ---------------------------------------------------------------------------
+
+func::Kernel
+makeSad(func::GlobalMemory &mem, int scale)
+{
+    const std::uint32_t blocks = 128u * static_cast<std::uint32_t>(scale);
+    const std::uint64_t threads = static_cast<std::uint64_t>(blocks) * 128;
+    const int win = 16;
+    const std::int64_t tstride = static_cast<std::int64_t>(threads) * 8;
+    Ctx c(mem);
+    Addr cur = c.buf("cur", threads * win * 8, func::BufferKind::Input);
+    Addr ref = c.buf("ref", threads * win * 8, func::BufferKind::Input);
+    Addr out = c.buf("out", threads * 64, func::BufferKind::Output);
+    for (std::uint64_t i = 0; i < threads * win; ++i) {
+        mem.write64(cur + i * 8, c.rng.below(256));
+        mem.write64(ref + i * 8, c.rng.below(256));
+    }
+
+    KernelBuilder b("sad");
+    b.setNumParams(3);
+    b.s2r(R(0), SpecialReg::GlobalTid);
+    b.ldparam(R(1), 0);
+    b.ldparam(R(2), 1);
+    b.ldparam(R(3), 2);
+    b.shli(R(9), R(0), 3);
+    b.iadd(R(1), R(1), R(9));
+    b.iadd(R(2), R(2), R(9));
+    b.movi(R(8), 0);
+    for (int k = 0; k < win; ++k) {
+        b.ldGlobal(R(4), R(1), k * tstride);
+        b.ldGlobal(R(5), R(2), k * tstride);
+        b.isub(R(6), R(4), R(5));
+        b.isub(R(7), RZ, R(6));
+        b.imax(R(6), R(6), R(7));    // |a - b|
+        b.iadd(R(8), R(8), R(6));
+    }
+    b.shli(R(9), R(0), 6); // 64 B output records (footprint scaling)
+    b.iadd(R(9), R(9), R(3));
+    b.stGlobal(R(9), 0, R(8));
+    b.exit();
+
+    c.k.program = b.build();
+    c.k.grid = {blocks, 1, 1};
+    c.k.block = {128, 1, 1};
+    c.k.params = {cur, ref, out};
+    return c.k;
+}
+
+// ---------------------------------------------------------------------------
+
+func::Kernel
+makeMriQ(func::GlobalMemory &mem, int scale)
+{
+    const std::uint32_t blocks = 48u * static_cast<std::uint32_t>(scale);
+    const std::uint64_t threads = static_cast<std::uint64_t>(blocks) * 128;
+    const std::int64_t K = 64;
+    Ctx c(mem);
+    Addr ks = c.buf("kspace", static_cast<std::uint64_t>(K) * 3 * 8,
+                    func::BufferKind::Input);
+    // Interleaved complex output (one 64 B record per voxel).
+    Addr out = c.buf("out", threads * 64, func::BufferKind::Output);
+    for (std::int64_t i = 0; i < K * 3; ++i)
+        mem.writeF64(ks + static_cast<std::uint64_t>(i) * 8, c.smallReal());
+
+    KernelBuilder b("mri-q");
+    b.setNumParams(2);
+    b.s2r(R(0), SpecialReg::GlobalTid);
+    b.ldparam(R(1), 0);
+    b.ldparam(R(2), 1);
+    // Voxel coordinates derived from the thread id.
+    b.i2f(R(4), R(0));
+    b.fmuli(R(5), R(4), 0.001);       // x
+    b.fmuli(R(6), R(4), 0.0007);      // y
+    b.fmuli(R(7), R(4), 0.0003);      // z
+    b.movi(R(8), 0);                  // accR
+    b.movi(R(9), 0);                  // accI
+    b.movi(R(10), 0);                 // k
+    b.mov(R(11), R(1));               // k-space cursor
+
+    auto loop = b.label();
+    b.bind(loop);
+    b.ldGlobal(R(12), R(11));         // kx (broadcast: same addr/warp)
+    b.ldGlobal(R(13), R(11), 8);      // ky
+    b.ldGlobal(R(14), R(11), 16);     // kz
+    b.fmul(R(15), R(12), R(5));
+    b.ffma(R(15), R(13), R(6), R(15));
+    b.ffma(R(15), R(14), R(7), R(15)); // phase
+    b.fsin(R(16), R(15));
+    b.fcos(R(17), R(15));
+    b.fadd(R(8), R(8), R(17));
+    b.fadd(R(9), R(9), R(16));
+    b.iaddi(R(11), R(11), 24);
+    b.iaddi(R(10), R(10), 1);
+    b.setpi(0, Cmp::LT, R(10), K);
+    b.guard(0);
+    b.bra(loop);
+    b.clearGuard();
+    b.shli(R(15), R(0), 6); // 64 B output records (footprint scaling)
+    b.iadd(R(16), R(15), R(2));
+    b.stGlobal(R(16), 0, R(8));  // real part
+    b.stGlobal(R(16), 8, R(9));  // imaginary part
+    b.exit();
+
+    c.k.program = b.build();
+    c.k.grid = {blocks, 1, 1};
+    c.k.block = {128, 1, 1};
+    c.k.params = {ks, out};
+    return c.k;
+}
+
+// ---------------------------------------------------------------------------
+
+func::Kernel
+makeMriGridding(func::GlobalMemory &mem, int scale)
+{
+    const std::uint32_t blocks = 96u * static_cast<std::uint32_t>(scale);
+    const std::uint64_t S = 16384;    // sample pool (power of two)
+    const std::uint64_t O = 262144;   // output grid cells (power of two)
+    Ctx c(mem);
+    Addr work = c.buf("work", blocks * 8, func::BufferKind::Input);
+    Addr samples = c.buf("samples", S * 8, func::BufferKind::Input);
+    Addr out = c.buf("grid", O * 8, func::BufferKind::Output);
+    // Two-orders-of-magnitude block imbalance (paper section 5.3):
+    // most blocks do 6 iterations, every 37th does ~50x more.
+    for (std::uint32_t bi = 0; bi < blocks; ++bi)
+        mem.write64(work + static_cast<std::uint64_t>(bi) * 8,
+                    bi % 37 == 0 ? 300 : 6);
+    for (std::uint64_t i = 0; i < S; ++i)
+        mem.writeF64(samples + i * 8, c.smallReal());
+
+    KernelBuilder b("mri-gridding");
+    b.setNumParams(3);
+    b.s2r(R(0), SpecialReg::GlobalTid);
+    b.s2r(R(1), SpecialReg::CtaIdX);
+    b.ldparam(R(2), 0);
+    b.ldparam(R(3), 1);
+    b.ldparam(R(4), 2);
+    b.shli(R(10), R(1), 3);
+    b.iadd(R(10), R(10), R(2));
+    b.ldGlobal(R(5), R(10));          // per-block iteration count
+    b.movi(R(6), 0);                  // j
+
+    auto loop = b.label();
+    auto done = b.label();
+    b.bind(loop);
+    b.setp(0, Cmp::GE, R(6), R(5));   // uniform within the block
+    b.guard(0);
+    b.bra(done);
+    b.clearGuard();
+    // gather a sample
+    b.imuli(R(10), R(6), 13);
+    b.imuli(R(11), R(0), 7);
+    b.iadd(R(10), R(10), R(11));
+    b.andi(R(10), R(10), static_cast<std::int64_t>(S - 1));
+    b.shli(R(10), R(10), 3);
+    b.iadd(R(10), R(10), R(3));
+    b.ldGlobal(R(7), R(10));
+    // gridding kernel weight
+    b.fsin(R(8), R(7));
+    b.fmul(R(8), R(8), R(7));
+    // scatter
+    b.imuli(R(10), R(6), 31);
+    b.iadd(R(10), R(10), R(0));
+    b.andi(R(10), R(10), static_cast<std::int64_t>(O - 1));
+    b.shli(R(10), R(10), 3);
+    b.iadd(R(10), R(10), R(4));
+    b.stGlobal(R(10), 0, R(8));
+    b.iaddi(R(6), R(6), 1);
+    b.bra(loop);
+    b.bind(done);
+    b.join();
+    b.exit();
+
+    c.k.program = b.build();
+    c.k.grid = {blocks, 1, 1};
+    c.k.block = {128, 1, 1};
+    c.k.params = {work, samples, out};
+    return c.k;
+}
+
+// ---------------------------------------------------------------------------
+
+func::Kernel
+makeCutcp(func::GlobalMemory &mem, int scale)
+{
+    const std::uint32_t blocks = 64u * static_cast<std::uint32_t>(scale);
+    const std::uint64_t threads = static_cast<std::uint64_t>(blocks) * 128;
+    const std::int64_t A = 48;        // atoms
+    Ctx c(mem);
+    Addr atoms = c.buf("atoms", static_cast<std::uint64_t>(A) * 32,
+                       func::BufferKind::Input);
+    Addr out = c.buf("potential", threads * 64, func::BufferKind::Output);
+    for (std::int64_t i = 0; i < A * 4; ++i)
+        mem.writeF64(atoms + static_cast<std::uint64_t>(i) * 8,
+                     0.25 + c.rng.real());
+
+    KernelBuilder b("cutcp");
+    b.setNumParams(2);
+    b.s2r(R(0), SpecialReg::GlobalTid);
+    b.ldparam(R(1), 0);
+    b.ldparam(R(2), 1);
+    b.i2f(R(3), R(0));
+    b.fmuli(R(4), R(3), 0.01);        // gx
+    b.fmuli(R(5), R(3), 0.003);       // gy
+    b.fmuli(R(6), R(3), 0.0007);      // gz
+    b.movi(R(7), 0);                  // acc
+    b.movi(R(8), 0);                  // a
+    b.mov(R(9), R(1));                // atom cursor
+
+    auto loop = b.label();
+    b.bind(loop);
+    b.ldGlobal(R(10), R(9));          // ax
+    b.ldGlobal(R(11), R(9), 8);       // ay
+    b.ldGlobal(R(12), R(9), 16);      // az
+    b.ldGlobal(R(13), R(9), 24);      // q
+    b.fsub(R(10), R(10), R(4));
+    b.fsub(R(11), R(11), R(5));
+    b.fsub(R(12), R(12), R(6));
+    b.fmul(R(14), R(10), R(10));
+    b.ffma(R(14), R(11), R(11), R(14));
+    b.ffma(R(14), R(12), R(12), R(14));
+    b.faddi(R(14), R(14), 0.01);      // softening
+    b.frsq(R(15), R(14));
+    b.ffma(R(7), R(13), R(15), R(7));
+    b.iaddi(R(9), R(9), 32);
+    b.iaddi(R(8), R(8), 1);
+    b.setpi(0, Cmp::LT, R(8), A);
+    b.guard(0);
+    b.bra(loop);
+    b.clearGuard();
+    b.shli(R(10), R(0), 6); // 64 B output records (footprint scaling)
+    b.iadd(R(10), R(10), R(2));
+    b.stGlobal(R(10), 0, R(7));
+    b.exit();
+
+    c.k.program = b.build();
+    c.k.grid = {blocks, 1, 1};
+    c.k.block = {128, 1, 1};
+    c.k.params = {atoms, out};
+    return c.k;
+}
+
+// ---------------------------------------------------------------------------
+
+func::Kernel
+makeTpacf(func::GlobalMemory &mem, int scale)
+{
+    const std::uint32_t blocks = 64u * static_cast<std::uint32_t>(scale);
+    const std::uint64_t threads = static_cast<std::uint64_t>(blocks) * 128;
+    const std::int64_t P = 40;
+    const std::uint64_t N = threads; // power-of-two-ish gather domain
+    Ctx c(mem);
+    Addr d1 = c.buf("data1", threads * static_cast<std::uint64_t>(P) * 8,
+                    func::BufferKind::Input);
+    Addr d2 = c.buf("data2", N * 8, func::BufferKind::Input);
+    Addr hist = c.buf("hist", 64 * 8, func::BufferKind::InOut);
+    for (std::uint64_t i = 0; i < threads * static_cast<std::uint64_t>(P);
+         ++i)
+        mem.writeF64(d1 + i * 8, c.smallReal());
+    for (std::uint64_t i = 0; i < N; ++i)
+        mem.writeF64(d2 + i * 8, c.smallReal());
+
+    // Round N down to a power of two for the gather mask.
+    std::uint64_t mask = 1;
+    while (mask * 2 <= N)
+        mask *= 2;
+    mask -= 1;
+
+    KernelBuilder b("tpacf");
+    b.setNumParams(3);
+    b.setSharedBytes(512); // 64-bin block-local histogram
+
+    b.s2r(R(0), SpecialReg::GlobalTid);
+    b.s2r(R(1), SpecialReg::TidX);
+    b.ldparam(R(2), 0);
+    b.ldparam(R(3), 1);
+    b.ldparam(R(4), 2);
+    // Zero the shared histogram (first 64 threads).
+    b.setpi(0, Cmp::LT, R(1), 64);
+    b.shli(R(10), R(1), 3);
+    b.guard(0);
+    b.stShared(R(10), 0, RZ);
+    b.clearGuard();
+    b.bar();
+
+    b.shli(R(11), R(0), 3);
+    b.iadd(R(11), R(11), R(2));       // d1 cursor (strided, coalesced)
+    b.movi(R(6), 0);                  // p
+    const std::int64_t tstride =
+        static_cast<std::int64_t>(threads) * 8;
+
+    auto loop = b.label();
+    b.bind(loop);
+    b.ldGlobal(R(7), R(11));          // d1 sample
+    b.iaddi(R(11), R(11), tstride);
+    b.imuli(R(10), R(0), 13);
+    b.imuli(R(12), R(6), 17);
+    b.iadd(R(10), R(10), R(12));
+    b.andi(R(10), R(10), static_cast<std::int64_t>(mask));
+    b.shli(R(10), R(10), 3);
+    b.iadd(R(10), R(10), R(3));
+    b.ldGlobal(R(8), R(10));          // d2 gather
+    b.fmul(R(9), R(7), R(8));
+    b.faddi(R(9), R(9), 1.5);
+    b.flog2(R(9), R(9));              // angular separation proxy
+    b.fmuli(R(9), R(9), 24.0);
+    b.faddi(R(9), R(9), 32.0);
+    b.f2i(R(12), R(9));
+    b.movi(R(13), 63);
+    b.imin(R(12), R(12), R(13));
+    b.imax(R(12), R(12), RZ);
+    b.shli(R(12), R(12), 3);
+    b.ldShared(R(13), R(12));         // shared-memory histogram
+    b.iaddi(R(13), R(13), 1);
+    b.stShared(R(12), 0, R(13));
+    b.iaddi(R(6), R(6), 1);
+    b.setpi(1, Cmp::LT, R(6), P);
+    b.guard(1);
+    b.bra(loop);
+    b.clearGuard();
+    b.bar();
+    // Merge block histogram into the global one (first 64 threads).
+    b.shli(R(10), R(1), 3);
+    b.guard(0);
+    b.ldShared(R(12), R(10));
+    b.clearGuard();
+    b.iadd(R(10), R(10), R(4));
+    b.guard(0);
+    b.atomAdd(RZ, R(10), R(12));
+    b.clearGuard();
+    b.exit();
+
+    c.k.program = b.build();
+    c.k.grid = {blocks, 1, 1};
+    c.k.block = {128, 1, 1};
+    c.k.params = {d1, d2, hist};
+    return c.k;
+}
+
+} // namespace gex::workloads::detail

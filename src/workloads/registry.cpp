@@ -1,0 +1,89 @@
+#include "workloads/workloads.hpp"
+
+#include <map>
+
+#include "common/log.hpp"
+#include "workloads/detail.hpp"
+
+namespace gex::workloads {
+
+namespace {
+
+using Maker = func::Kernel (*)(func::GlobalMemory &, int);
+
+const std::map<std::string, Maker> &
+registry()
+{
+    static const std::map<std::string, Maker> r = {
+        {"sgemm", detail::makeSgemm},
+        {"stencil", detail::makeStencil},
+        {"lbm", detail::makeLbm},
+        {"histo", detail::makeHisto},
+        {"spmv", detail::makeSpmv},
+        {"bfs", detail::makeBfs},
+        {"sad", detail::makeSad},
+        {"mri-q", detail::makeMriQ},
+        {"mri-gridding", detail::makeMriGridding},
+        {"cutcp", detail::makeCutcp},
+        {"tpacf", detail::makeTpacf},
+        {"ha-prob", detail::makeHaProb},
+        {"ha-grid", detail::makeHaGrid},
+        {"ha-tree", detail::makeHaTree},
+        {"ha-queue", detail::makeHaQueue},
+        {"quad-tree", detail::makeQuadTree},
+    };
+    return r;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+parboilSuite()
+{
+    static const std::vector<std::string> names = {
+        "bfs",   "cutcp", "histo",        "lbm",   "mri-gridding",
+        "mri-q", "sad",   "sgemm",        "spmv",  "stencil",
+        "tpacf",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+hallocSuite()
+{
+    static const std::vector<std::string> names = {
+        "ha-prob", "ha-grid", "ha-tree", "ha-queue", "quad-tree",
+    };
+    return names;
+}
+
+Workload
+make(const std::string &name, func::GlobalMemory &mem, int scale)
+{
+    auto it = registry().find(name);
+    if (it == registry().end())
+        fatal("unknown workload '%s'", name.c_str());
+    if (scale < 1)
+        fatal("workload scale must be >= 1");
+    Workload w;
+    w.name = name;
+    w.kernel = it->second(mem, scale);
+    return w;
+}
+
+bool
+exists(const std::string &name)
+{
+    return registry().count(name) != 0;
+}
+
+std::vector<std::string>
+allNames()
+{
+    std::vector<std::string> names;
+    for (const auto &kv : registry())
+        names.push_back(kv.first);
+    return names;
+}
+
+} // namespace gex::workloads

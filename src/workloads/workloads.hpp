@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Workload registry: Parboil-like kernels (Figures 10-12, 14), Halloc-
+ * like allocator benchmarks and the quad-tree sample (Figure 13),
+ * written in the gex ISA via KernelBuilder. Each kernel mimics the
+ * published characteristics of its namesake that drive the paper's
+ * results: register pressure / occupancy, shared memory, arithmetic
+ * intensity, SFU use, coalescing behaviour, atomics, divergence, and
+ * load imbalance. See DESIGN.md for the substitution rationale.
+ */
+
+#ifndef GEX_WORKLOADS_WORKLOADS_HPP
+#define GEX_WORKLOADS_WORKLOADS_HPP
+
+#include <string>
+#include <vector>
+
+#include "func/kernel.hpp"
+#include "func/memory.hpp"
+
+namespace gex::workloads {
+
+/** A built workload: kernel plus initialized memory expectations. */
+struct Workload {
+    func::Kernel kernel;
+    std::string name;
+};
+
+/** Parboil-like suite names, in the paper's figure order. */
+const std::vector<std::string> &parboilSuite();
+
+/** Halloc-like + quad-tree suite names (Figure 13). */
+const std::vector<std::string> &hallocSuite();
+
+/**
+ * Build the named workload, registering and initializing its buffers
+ * in @p mem. @p scale >= 1 grows the grid (for scalability studies).
+ * Unknown names are fatal.
+ */
+Workload make(const std::string &name, func::GlobalMemory &mem,
+              int scale = 1);
+
+/** True when make() knows @p name. */
+bool exists(const std::string &name);
+
+/** All registered workload names. */
+std::vector<std::string> allNames();
+
+} // namespace gex::workloads
+
+#endif // GEX_WORKLOADS_WORKLOADS_HPP

@@ -1,0 +1,70 @@
+/** @file Unit tests: memory access coalescing (paper Figure 5). */
+
+#include <gtest/gtest.h>
+
+#include "sm/coalescer.hpp"
+
+namespace gex::sm {
+namespace {
+
+TEST(Coalescer, EmptyInput)
+{
+    EXPECT_TRUE(coalesce({}).empty());
+}
+
+TEST(Coalescer, FullyCoalescedWarp)
+{
+    // 32 consecutive 8 B accesses => 2 lines of 128 B.
+    std::vector<Addr> addrs;
+    for (int lane = 0; lane < 32; ++lane)
+        addrs.push_back(0x1000 + static_cast<Addr>(lane) * 8);
+    auto lines = coalesce(addrs);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], 0x1000u);
+    EXPECT_EQ(lines[1], 0x1080u);
+}
+
+TEST(Coalescer, BroadcastSingleLine)
+{
+    std::vector<Addr> addrs(32, 0x2008);
+    auto lines = coalesce(addrs);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], 0x2000u);
+}
+
+TEST(Coalescer, FullyScattered)
+{
+    std::vector<Addr> addrs;
+    for (int lane = 0; lane < 32; ++lane)
+        addrs.push_back(static_cast<Addr>(lane) * 4096);
+    EXPECT_EQ(coalesce(addrs).size(), 32u);
+}
+
+TEST(Coalescer, UnalignedStraddle)
+{
+    // Accesses within one line plus one just past the boundary.
+    std::vector<Addr> addrs = {120, 127, 128};
+    auto lines = coalesce(addrs);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], 0u);
+    EXPECT_EQ(lines[1], 128u);
+}
+
+TEST(Coalescer, ResultSortedUnique)
+{
+    std::vector<Addr> addrs = {512, 0, 256, 0, 512, 256};
+    auto lines = coalesce(addrs);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0], 0u);
+    EXPECT_EQ(lines[1], 256u);
+    EXPECT_EQ(lines[2], 512u);
+}
+
+TEST(Coalescer, CountMatchesCoalesce)
+{
+    std::vector<Addr> addrs = {0, 8, 128, 4096};
+    EXPECT_EQ(coalescedCount(addrs), coalesce(addrs).size());
+}
+
+} // namespace
+} // namespace gex::sm

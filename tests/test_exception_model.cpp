@@ -1,0 +1,98 @@
+/** @file Unit tests: scheme policies and the operand log. */
+
+#include <gtest/gtest.h>
+
+#include "sm/exception_model.hpp"
+
+namespace gex::sm {
+namespace {
+
+TEST(SchemePolicy, BaselineIsNotPreemptible)
+{
+    SchemePolicy p = SchemePolicy::make(gpu::Scheme::StallOnFault);
+    EXPECT_FALSE(p.preemptible);
+    EXPECT_FALSE(p.fetchDisableOnGlobalMem);
+    EXPECT_FALSE(p.holdSourcesUntilLastCheck);
+    EXPECT_FALSE(p.usesOperandLog);
+}
+
+TEST(SchemePolicy, WarpDisableVariants)
+{
+    SchemePolicy c = SchemePolicy::make(gpu::Scheme::WarpDisableCommit);
+    EXPECT_TRUE(c.preemptible);
+    EXPECT_TRUE(c.fetchDisableOnGlobalMem);
+    EXPECT_FALSE(c.reenableAtLastCheck);
+
+    SchemePolicy l = SchemePolicy::make(gpu::Scheme::WarpDisableLastCheck);
+    EXPECT_TRUE(l.fetchDisableOnGlobalMem);
+    EXPECT_TRUE(l.reenableAtLastCheck);
+}
+
+TEST(SchemePolicy, ReplayQueueHoldsSources)
+{
+    SchemePolicy p = SchemePolicy::make(gpu::Scheme::ReplayQueue);
+    EXPECT_TRUE(p.preemptible);
+    EXPECT_TRUE(p.holdSourcesUntilLastCheck);
+    EXPECT_FALSE(p.fetchDisableOnGlobalMem);
+    EXPECT_FALSE(p.usesOperandLog);
+}
+
+TEST(SchemePolicy, OperandLogRestoresBaselineScoreboarding)
+{
+    SchemePolicy p = SchemePolicy::make(gpu::Scheme::OperandLog);
+    EXPECT_TRUE(p.preemptible);
+    EXPECT_FALSE(p.holdSourcesUntilLastCheck);
+    EXPECT_FALSE(p.fetchDisableOnGlobalMem);
+    EXPECT_TRUE(p.usesOperandLog);
+}
+
+TEST(OperandLog, EntrySizesMatchPaper)
+{
+    // Paper section 3.3: loads log one entry (8 B address x 32),
+    // stores two (address + data).
+    EXPECT_EQ(OperandLog::entryBytes(false), 256u);
+    EXPECT_EQ(OperandLog::entryBytes(true), 512u);
+}
+
+TEST(OperandLog, PartitioningPerResidentBlock)
+{
+    OperandLog log;
+    log.configure(16 * 1024, 16);
+    EXPECT_EQ(log.partitionBytes(), 1024u);
+    log.configure(16 * 1024, 1); // lbm-style single resident block
+    EXPECT_EQ(log.partitionBytes(), 16u * 1024u);
+}
+
+TEST(OperandLog, MinimumPartitionGuaranteesProgress)
+{
+    OperandLog log;
+    // 2 KB over 16 partitions would be 128 B; clamped to one store
+    // entry (the paper's 8 KB-minimum rationale).
+    log.configure(2 * 1024, 16);
+    EXPECT_EQ(log.partitionBytes(), OperandLog::kStoreEntryBytes);
+}
+
+TEST(OperandLog, AllocateReleaseAccounting)
+{
+    OperandLog log;
+    log.configure(8 * 1024, 16); // 512 B per partition
+    EXPECT_TRUE(log.tryAllocate(0, 256));
+    EXPECT_TRUE(log.tryAllocate(0, 256));
+    EXPECT_FALSE(log.tryAllocate(0, 256)); // partition full
+    EXPECT_EQ(log.allocFailures(), 1u);
+    // Other partitions unaffected.
+    EXPECT_TRUE(log.tryAllocate(5, 512));
+    log.release(0, 256);
+    EXPECT_TRUE(log.tryAllocate(0, 256));
+    EXPECT_EQ(log.used(0), 512u);
+}
+
+TEST(OperandLogDeath, ReleaseUnderflow)
+{
+    OperandLog log;
+    log.configure(8 * 1024, 16);
+    EXPECT_DEATH(log.release(0, 256), "underflow");
+}
+
+} // namespace
+} // namespace gex::sm

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Integration tests: page fault handling through the full timing
+ * stack — baseline stalling vs preemptible squash-and-replay, fault
+ * merging at region granularity, and demand-paging end-to-end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/functional_sim.hpp"
+#include "gpu/gpu.hpp"
+#include "kasm/builder.hpp"
+
+namespace gex {
+namespace {
+
+using kasm::KernelBuilder;
+using kasm::SpecialReg;
+
+constexpr Addr kIn = 1 << 20;
+constexpr Addr kOut = 2 << 20;
+
+struct Built {
+    func::GlobalMemory mem;
+    func::Kernel kernel;
+    trace::KernelTrace trace;
+};
+
+/** Streaming kernel over @p regions x 64 KB of input. */
+void
+buildReader(Built &bt, std::uint32_t blocks)
+{
+    std::uint64_t n = static_cast<std::uint64_t>(blocks) * 256;
+    for (std::uint64_t i = 0; i < n; ++i)
+        bt.mem.write64(kIn + i * 8, i);
+    KernelBuilder b("reader");
+    b.setNumParams(2);
+    b.s2r(0, SpecialReg::GlobalTid);
+    b.ldparam(1, 0);
+    b.ldparam(2, 1);
+    b.shli(3, 0, 3);
+    b.iadd(1, 1, 3);
+    b.ldGlobal(4, 1);
+    b.iaddi(4, 4, 1);
+    b.iadd(2, 2, 3);
+    b.stGlobal(2, 0, 4);
+    b.exit();
+    bt.kernel.program = b.build();
+    bt.kernel.grid = {blocks, 1, 1};
+    bt.kernel.block = {256, 1, 1};
+    bt.kernel.params = {kIn, kOut};
+    bt.kernel.buffers.push_back(
+        {"in", kIn, n * 8, func::BufferKind::Input});
+    bt.kernel.buffers.push_back(
+        {"out", kOut, n * 8, func::BufferKind::Output});
+    func::FunctionalSim fsim(bt.mem);
+    bt.trace = fsim.run(bt.kernel);
+}
+
+gpu::SimResult
+runWith(const Built &bt, gpu::Scheme s, const vm::VmPolicy &policy,
+        vm::HostLinkConfig link = vm::HostLinkConfig::nvlink())
+{
+    gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+    cfg.scheme = s;
+    cfg.hostLink = link;
+    gpu::Gpu g(cfg);
+    return g.run(bt.kernel, bt.trace, policy);
+}
+
+TEST(Faults, NoFaultsWhenAllResident)
+{
+    Built bt;
+    buildReader(bt, 8);
+    auto r = runWith(bt, gpu::Scheme::ReplayQueue,
+                     vm::VmPolicy::allResident());
+    EXPECT_EQ(r.stats.get("mmu.faults"), 0.0);
+    EXPECT_EQ(r.stats.get("sm.faults_reacted"), 0.0);
+}
+
+TEST(Faults, DemandPagingMigratesEachInputRegionOnce)
+{
+    Built bt;
+    buildReader(bt, 32); // input = 64 KB = 1 region; out = 1 region
+    auto r = runWith(bt, gpu::Scheme::ReplayQueue,
+                     vm::VmPolicy::demandPaging());
+    // One migration (input region) + one CPU allocation (output).
+    EXPECT_EQ(r.stats.get("mmu.migration_faults"), 1.0);
+    EXPECT_EQ(r.stats.get("mmu.cpu_alloc_faults"), 1.0);
+    EXPECT_EQ(r.stats.get("hostlink.bytes_migrated"), 65536.0);
+    EXPECT_EQ(r.instructions, bt.trace.dynamicInsts());
+}
+
+TEST(Faults, FaultsCostTime)
+{
+    Built bt;
+    buildReader(bt, 8);
+    auto clean = runWith(bt, gpu::Scheme::ReplayQueue,
+                         vm::VmPolicy::allResident());
+    auto paged = runWith(bt, gpu::Scheme::ReplayQueue,
+                         vm::VmPolicy::demandPaging());
+    // A migration costs ~12k cycles; the paged run must be much
+    // slower than the clean one.
+    EXPECT_GT(paged.cycles, clean.cycles + 10000);
+}
+
+TEST(Faults, BaselineStallAndPreemptibleBothComplete)
+{
+    Built bt;
+    buildReader(bt, 8);
+    for (auto s : {gpu::Scheme::StallOnFault, gpu::Scheme::WarpDisableCommit,
+                   gpu::Scheme::WarpDisableLastCheck,
+                   gpu::Scheme::ReplayQueue, gpu::Scheme::OperandLog}) {
+        auto r = runWith(bt, s, vm::VmPolicy::demandPaging());
+        EXPECT_EQ(r.instructions, bt.trace.dynamicInsts())
+            << gpu::schemeName(s);
+    }
+}
+
+TEST(Faults, BaselineDoesNotReact)
+{
+    Built bt;
+    buildReader(bt, 8);
+    auto r = runWith(bt, gpu::Scheme::StallOnFault,
+                     vm::VmPolicy::demandPaging());
+    // Stall-on-fault parks the request; no squash/replay happens.
+    EXPECT_EQ(r.stats.get("sm.faults_reacted"), 0.0);
+    EXPECT_GT(r.stats.get("mmu.faults"), 0.0);
+}
+
+TEST(Faults, PreemptibleSchemesSquashAndReplay)
+{
+    Built bt;
+    buildReader(bt, 8);
+    auto r = runWith(bt, gpu::Scheme::ReplayQueue,
+                     vm::VmPolicy::demandPaging());
+    EXPECT_GT(r.stats.get("sm.faults_reacted"), 0.0);
+    // Replayed instructions commit exactly once.
+    EXPECT_EQ(r.instructions, bt.trace.dynamicInsts());
+}
+
+TEST(Faults, PcieSlowerThanNvlink)
+{
+    Built bt;
+    buildReader(bt, 32);
+    auto nv = runWith(bt, gpu::Scheme::ReplayQueue,
+                      vm::VmPolicy::demandPaging(),
+                      vm::HostLinkConfig::nvlink());
+    auto pc = runWith(bt, gpu::Scheme::ReplayQueue,
+                      vm::VmPolicy::demandPaging(),
+                      vm::HostLinkConfig::pcie());
+    EXPECT_GT(pc.cycles, nv.cycles);
+}
+
+TEST(Faults, OutputFaultPolicyOnlyTouchesOutputs)
+{
+    Built bt;
+    buildReader(bt, 32);
+    auto r = runWith(bt, gpu::Scheme::ReplayQueue,
+                     vm::VmPolicy::outputFaults(false));
+    EXPECT_EQ(r.stats.get("mmu.migration_faults"), 0.0);
+    EXPECT_GT(r.stats.get("mmu.cpu_alloc_faults"), 0.0);
+}
+
+TEST(Faults, LocalHandlingUsesGpuHandler)
+{
+    Built bt;
+    buildReader(bt, 32);
+    auto r = runWith(bt, gpu::Scheme::ReplayQueue,
+                     vm::VmPolicy::outputFaults(true));
+    EXPECT_GT(r.stats.get("mmu.gpu_alloc_faults"), 0.0);
+    EXPECT_EQ(r.stats.get("mmu.cpu_alloc_faults"), 0.0);
+    EXPECT_EQ(r.stats.get("hostlink.faults"), 0.0);
+    EXPECT_GT(r.stats.get("sm.system_mode_cycles"), 0.0);
+}
+
+TEST(Faults, MultiRegionInputFaultsSpread)
+{
+    Built bt;
+    buildReader(bt, 64); // 16384 threads -> 128 KB in = 2 regions
+    auto r = runWith(bt, gpu::Scheme::ReplayQueue,
+                     vm::VmPolicy::demandPaging());
+    EXPECT_EQ(r.stats.get("mmu.migration_faults"), 2.0);
+}
+
+} // namespace
+} // namespace gex

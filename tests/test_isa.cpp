@@ -1,0 +1,160 @@
+/** @file Unit tests: ISA opcodes, traits, instructions, programs. */
+
+#include <gtest/gtest.h>
+
+#include "isa/instruction.hpp"
+#include "isa/opcodes.hpp"
+#include "isa/program.hpp"
+#include "kasm/builder.hpp"
+
+namespace gex::isa {
+namespace {
+
+TEST(Opcodes, TraitsTableIsTotal)
+{
+    for (int i = 0; i < static_cast<int>(Opcode::NumOpcodes); ++i) {
+        const OpTraits &t = traits(static_cast<Opcode>(i));
+        EXPECT_FALSE(t.name.empty());
+    }
+}
+
+TEST(Opcodes, NameRoundTrip)
+{
+    for (int i = 0; i < static_cast<int>(Opcode::NumOpcodes); ++i) {
+        auto op = static_cast<Opcode>(i);
+        EXPECT_EQ(opcodeFromName(opcodeName(op)), op)
+            << "opcode " << opcodeName(op);
+    }
+    EXPECT_EQ(opcodeFromName("not-an-opcode"), Opcode::NumOpcodes);
+}
+
+TEST(Opcodes, GlobalMemClassification)
+{
+    EXPECT_TRUE(traits(Opcode::LD_GLOBAL).isGlobalMem);
+    EXPECT_TRUE(traits(Opcode::ST_GLOBAL).isGlobalMem);
+    EXPECT_TRUE(traits(Opcode::ATOM_ADD).isGlobalMem);
+    EXPECT_TRUE(traits(Opcode::ALLOC).isGlobalMem);
+    EXPECT_FALSE(traits(Opcode::LD_SHARED).isGlobalMem);
+    EXPECT_FALSE(traits(Opcode::IADD).isGlobalMem);
+    EXPECT_FALSE(traits(Opcode::BRA).isGlobalMem);
+}
+
+TEST(Opcodes, ControlClassification)
+{
+    for (Opcode op : {Opcode::BRA, Opcode::SSY, Opcode::JOIN, Opcode::BAR,
+                      Opcode::EXIT, Opcode::MEMBAR})
+        EXPECT_TRUE(traits(op).isControl) << opcodeName(op);
+    EXPECT_FALSE(traits(Opcode::LD_GLOBAL).isControl);
+}
+
+TEST(Opcodes, UnitAssignment)
+{
+    EXPECT_EQ(traits(Opcode::FFMA).unit, Unit::Math);
+    EXPECT_EQ(traits(Opcode::FSIN).unit, Unit::Sfu);
+    EXPECT_EQ(traits(Opcode::BRA).unit, Unit::Branch);
+    EXPECT_EQ(traits(Opcode::LD_GLOBAL).unit, Unit::LdSt);
+    EXPECT_EQ(traits(Opcode::LD_SHARED).unit, Unit::Shared);
+    EXPECT_EQ(traits(Opcode::NOP).unit, Unit::None);
+}
+
+TEST(Instruction, WritesRegHonoursRZ)
+{
+    Instruction in;
+    in.op = Opcode::IADD;
+    in.dst = 5;
+    EXPECT_TRUE(in.writesReg());
+    in.dst = kRegZero;
+    EXPECT_FALSE(in.writesReg());
+    in.op = Opcode::ST_GLOBAL;
+    EXPECT_FALSE(in.writesReg()); // stores have no dst write
+}
+
+TEST(Instruction, DisassemblyContainsOperands)
+{
+    Instruction in;
+    in.op = Opcode::LD_GLOBAL;
+    in.dst = 3;
+    in.srcs[0] = 7;
+    in.imm = 16;
+    std::string s = in.toString();
+    EXPECT_NE(s.find("ld.global"), std::string::npos);
+    EXPECT_NE(s.find("r3"), std::string::npos);
+    EXPECT_NE(s.find("r7"), std::string::npos);
+    EXPECT_NE(s.find("+16"), std::string::npos);
+}
+
+TEST(Instruction, GuardedDisassembly)
+{
+    Instruction in;
+    in.op = Opcode::BRA;
+    in.target = 4;
+    in.pred = 2;
+    in.predNeg = true;
+    std::string s = in.toString();
+    EXPECT_NE(s.find("@!p2"), std::string::npos);
+}
+
+TEST(SpecialRegs, NameRoundTrip)
+{
+    for (int i = 0; i < static_cast<int>(SpecialReg::NumSpecialRegs);
+         ++i) {
+        auto r = static_cast<SpecialReg>(i);
+        EXPECT_EQ(specialRegFromName(specialRegName(r)), r);
+    }
+    EXPECT_EQ(specialRegFromName("%nope"), SpecialReg::NumSpecialRegs);
+}
+
+TEST(Program, ValidateAcceptsMinimal)
+{
+    kasm::KernelBuilder b("t");
+    b.movi(0, 1);
+    b.exit();
+    Program p = b.build();
+    EXPECT_EQ(p.size(), 2u);
+    EXPECT_EQ(p.regsPerThread(), 1);
+}
+
+TEST(Program, ValidateDeathOnFallOffEnd)
+{
+    std::vector<Instruction> insts(1);
+    insts[0].op = Opcode::IADD;
+    insts[0].dst = 0;
+    Program p("bad", insts, 4, 0, 0);
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Program, ValidateDeathOnBadTarget)
+{
+    std::vector<Instruction> insts(2);
+    insts[0].op = Opcode::BRA;
+    insts[0].target = 99;
+    insts[1].op = Opcode::EXIT;
+    Program p("bad", insts, 4, 0, 0);
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Program, ValidateDeathOnRegOutOfRange)
+{
+    std::vector<Instruction> insts(2);
+    insts[0].op = Opcode::IADD;
+    insts[0].dst = 30; // >= regsPerThread (4)
+    insts[1].op = Opcode::EXIT;
+    Program p("bad", insts, 4, 0, 0);
+    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Program, DisassembleListsAllInstructions)
+{
+    kasm::KernelBuilder b("t");
+    b.movi(0, 42);
+    b.iaddi(1, 0, 1);
+    b.exit();
+    Program p = b.build();
+    std::string d = p.disassemble();
+    EXPECT_NE(d.find("movi"), std::string::npos);
+    EXPECT_NE(d.find("exit"), std::string::npos);
+    EXPECT_NE(d.find("kernel t"), std::string::npos);
+}
+
+} // namespace
+} // namespace gex::isa

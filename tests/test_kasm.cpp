@@ -1,0 +1,244 @@
+/** @file Unit tests: KernelBuilder and the text assembler. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "kasm/builder.hpp"
+#include "kasm/lexer.hpp"
+#include "kasm/parser.hpp"
+
+namespace gex::kasm {
+namespace {
+
+using isa::Opcode;
+
+TEST(Builder, ForwardLabelPatched)
+{
+    KernelBuilder b("t");
+    auto l = b.label();
+    b.bra(l);     // forward reference
+    b.movi(0, 1); // skipped
+    b.bind(l);
+    b.exit();
+    isa::Program p = b.build();
+    EXPECT_EQ(p.at(0).op, Opcode::BRA);
+    EXPECT_EQ(p.at(0).target, 2);
+}
+
+TEST(Builder, BackwardLabelImmediate)
+{
+    KernelBuilder b("t");
+    auto l = b.label();
+    b.bind(l);
+    b.movi(0, 1);
+    b.setpi(0, Cmp::LT, 0, 10);
+    b.guard(0);
+    b.bra(l);
+    b.clearGuard();
+    b.exit();
+    isa::Program p = b.build();
+    EXPECT_EQ(p.at(2).op, Opcode::BRA);
+    EXPECT_EQ(p.at(2).target, 0);
+    EXPECT_EQ(p.at(2).pred, 0);
+}
+
+TEST(Builder, GuardAppliesUntilCleared)
+{
+    KernelBuilder b("t");
+    b.guard(1, true);
+    b.movi(0, 1);
+    b.clearGuard();
+    b.movi(1, 2);
+    b.exit();
+    isa::Program p = b.build();
+    EXPECT_EQ(p.at(0).pred, 1);
+    EXPECT_TRUE(p.at(0).predNeg);
+    EXPECT_EQ(p.at(1).pred, isa::kPredTrue);
+}
+
+TEST(Builder, RegisterCountFromMaxUsed)
+{
+    KernelBuilder b("t");
+    b.movi(17, 0);
+    b.exit();
+    EXPECT_EQ(b.build().regsPerThread(), 18);
+}
+
+TEST(Builder, MinRegsOverridesMaxUsed)
+{
+    KernelBuilder b("t");
+    b.setMinRegs(128);
+    b.movi(3, 0);
+    b.exit();
+    EXPECT_EQ(b.build().regsPerThread(), 128);
+}
+
+TEST(Builder, ImmediateFormsSetUseImm)
+{
+    KernelBuilder b("t");
+    b.iaddi(0, 1, 42);
+    b.iadd(0, 1, 2);
+    b.exit();
+    isa::Program p = b.build();
+    EXPECT_TRUE(p.at(0).useImm);
+    EXPECT_EQ(p.at(0).imm, 42);
+    EXPECT_FALSE(p.at(1).useImm);
+}
+
+TEST(Builder, MovfEncodesDoubleBits)
+{
+    KernelBuilder b("t");
+    b.movf(0, 1.5);
+    b.exit();
+    isa::Program p = b.build();
+    double d;
+    auto bits = static_cast<std::uint64_t>(p.at(0).imm);
+    std::memcpy(&d, &bits, sizeof(d));
+    EXPECT_DOUBLE_EQ(d, 1.5);
+}
+
+TEST(Builder, UnboundLabelIsFatal)
+{
+    KernelBuilder b("t");
+    auto l = b.label();
+    b.bra(l);
+    b.exit();
+    EXPECT_EXIT(b.build(), ::testing::ExitedWithCode(1), "never bound");
+}
+
+TEST(Lexer, TokenKinds)
+{
+    auto toks = lex("iadd r1, r2, 5\n");
+    ASSERT_GE(toks.size(), 7u);
+    EXPECT_EQ(toks[0].kind, TokKind::Ident);
+    EXPECT_EQ(toks[0].text, "iadd");
+    EXPECT_EQ(toks[1].kind, TokKind::Ident); // r1
+    EXPECT_EQ(toks[2].kind, TokKind::Comma);
+    EXPECT_EQ(toks[5].kind, TokKind::Number);
+    EXPECT_EQ(toks[5].ival, 5);
+}
+
+TEST(Lexer, CommentsAndHex)
+{
+    auto toks = lex("movi r0, 0x10 # comment\n// another\nexit\n");
+    EXPECT_EQ(toks[3].ival, 16);
+    bool saw_exit = false;
+    for (const auto &t : toks)
+        if (t.kind == TokKind::Ident && t.text == "exit")
+            saw_exit = true;
+    EXPECT_TRUE(saw_exit);
+}
+
+TEST(Lexer, FloatsAndNegatives)
+{
+    auto toks = lex("movi r0, 1.5\nmovi r1, -3\n");
+    EXPECT_TRUE(toks[3].isFloat);
+    EXPECT_DOUBLE_EQ(toks[3].fval, 1.5);
+}
+
+TEST(Assembler, RoundTripSimpleKernel)
+{
+    const char *src = R"(
+.kernel vecinc
+.params 2
+
+    s2r r0, %gtid
+    ldparam r1, param[0]
+    ldparam r2, param[1]
+    shl r3, r0, 3
+    iadd r3, r3, r1
+    ld.global r4, [r3]
+    iadd r4, r4, 1
+    isub r3, r3, r1
+    iadd r3, r3, r2
+    st.global [r3], r4
+    exit
+)";
+    isa::Program p = assemble(src);
+    EXPECT_EQ(p.name(), "vecinc");
+    EXPECT_EQ(p.numParams(), 2);
+    EXPECT_EQ(p.size(), 11u);
+    EXPECT_EQ(p.at(5).op, Opcode::LD_GLOBAL);
+    EXPECT_EQ(p.at(9).op, Opcode::ST_GLOBAL);
+}
+
+TEST(Assembler, LabelsAndGuards)
+{
+    const char *src = R"(
+.kernel loopy
+    movi r0, 0
+loop:
+    iadd r0, r0, 1
+    setp.i.lt p0, r0, 10
+    @p0 bra loop
+    @!p1 iadd r1, r0, r0
+    exit
+)";
+    isa::Program p = assemble(src);
+    EXPECT_EQ(p.at(3).op, Opcode::BRA);
+    EXPECT_EQ(p.at(3).target, 1);
+    EXPECT_EQ(p.at(3).pred, 0);
+    EXPECT_FALSE(p.at(3).predNeg);
+    EXPECT_EQ(p.at(4).pred, 1);
+    EXPECT_TRUE(p.at(4).predNeg);
+}
+
+TEST(Assembler, MemoryOperandOffsets)
+{
+    const char *src = R"(
+.kernel mems
+    ld.global r1, [r2+64]
+    st.shared [r3], r1
+    atom.add r4, [r2], r1
+    exit
+)";
+    isa::Program p = assemble(src);
+    EXPECT_EQ(p.at(0).imm, 64);
+    EXPECT_EQ(p.at(1).op, Opcode::ST_SHARED);
+    EXPECT_EQ(p.at(2).op, Opcode::ATOM_ADD);
+}
+
+TEST(Assembler, SsyJoinAndSpecialRegs)
+{
+    const char *src = R"(
+.kernel divg
+    s2r r0, %laneid
+    setp.i.lt p0, r0, 16
+    ssy merge
+    @!p0 bra merge
+    iadd r1, r0, 1
+merge:
+    join
+    exit
+)";
+    isa::Program p = assemble(src);
+    EXPECT_EQ(p.at(2).op, Opcode::SSY);
+    EXPECT_EQ(p.at(2).target, 5);
+    EXPECT_EQ(p.at(5).op, Opcode::JOIN);
+}
+
+TEST(Assembler, DirectivesApplied)
+{
+    const char *src = R"(
+.kernel cfg
+.regs 64
+.shared 2048
+.params 3
+    ldparam r0, param[2]
+    exit
+)";
+    isa::Program p = assemble(src);
+    EXPECT_EQ(p.regsPerThread(), 64);
+    EXPECT_EQ(p.sharedBytes(), 2048u);
+    EXPECT_EQ(p.numParams(), 3);
+}
+
+TEST(Assembler, UnknownMnemonicIsFatal)
+{
+    EXPECT_EXIT(assemble(".kernel x\n    frobnicate r0\n    exit\n"),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace gex::kasm

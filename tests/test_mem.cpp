@@ -1,0 +1,198 @@
+/** @file Unit tests: timestamp ports, bandwidth pipes, caches, DRAM. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/port.hpp"
+
+namespace gex::mem {
+namespace {
+
+TEST(Port, SerializesSingleSlot)
+{
+    Port p(1);
+    EXPECT_EQ(p.reserve(10), 10u);
+    EXPECT_EQ(p.reserve(10), 11u);
+    EXPECT_EQ(p.reserve(10), 12u);
+    EXPECT_EQ(p.reserve(20), 20u);
+}
+
+TEST(Port, MultipleSlotsPerCycle)
+{
+    Port p(2);
+    EXPECT_EQ(p.reserve(5), 5u);
+    EXPECT_EQ(p.reserve(5), 5u);
+    EXPECT_EQ(p.reserve(5), 6u);
+}
+
+TEST(Port, HoldCyclesModelOccupancy)
+{
+    Port p(2, 500); // two page walkers, 500 cycles each
+    EXPECT_EQ(p.reserve(0), 0u);
+    EXPECT_EQ(p.reserve(0), 0u);
+    EXPECT_EQ(p.reserve(0), 500u); // both busy until 500
+    EXPECT_EQ(p.reserve(0), 500u);
+    EXPECT_EQ(p.reserve(0), 1000u);
+}
+
+TEST(BandwidthPipe, SubCycleAccumulation)
+{
+    BandwidthPipe p(256.0); // 2 lines per cycle
+    EXPECT_EQ(p.transfer(0, 128), 1u);
+    EXPECT_EQ(p.transfer(0, 128), 1u);
+    EXPECT_EQ(p.transfer(0, 128), 2u);
+    EXPECT_EQ(p.totalBytes(), 384u);
+}
+
+TEST(BandwidthPipe, LargeTransferOccupies)
+{
+    BandwidthPipe p(32.0);
+    // 64 KB at 32 B/cycle = 2048 cycles.
+    EXPECT_EQ(p.transfer(100, 64 * 1024), 100u + 2048u);
+    // Next transfer queues behind it.
+    EXPECT_EQ(p.transfer(0, 32), 2149u);
+}
+
+TEST(Dram, LatencyPlusBandwidth)
+{
+    Dram d(256.0, 200);
+    Cycle t = d.readLine(0);
+    EXPECT_EQ(t, 201u);
+    EXPECT_EQ(d.reads(), 1u);
+    d.writeLine(0);
+    EXPECT_EQ(d.writes(), 1u);
+}
+
+class CacheTest : public ::testing::Test
+{
+  protected:
+    CacheConfig
+    smallCfg()
+    {
+        CacheConfig c;
+        c.name = "t";
+        c.sizeBytes = 1024; // 8 lines
+        c.ways = 2;         // 4 sets
+        c.latency = 10;
+        c.mshrs = 4;
+        return c;
+    }
+
+    Cache::FetchFn
+    fixedFetch(Cycle lat = 100)
+    {
+        return [lat, this](Addr, Cycle t) {
+            ++fetches_;
+            return t + lat;
+        };
+    }
+
+    int fetches_ = 0;
+};
+
+TEST_F(CacheTest, HitAfterMiss)
+{
+    Cache c(smallCfg());
+    Cycle t1 = c.load(0, 0, fixedFetch());
+    EXPECT_EQ(t1, 110u); // 10 lookup + 100 below
+    EXPECT_EQ(c.misses(), 1u);
+    Cycle t2 = c.load(0, 200, fixedFetch());
+    EXPECT_EQ(t2, 210u); // hit: 10 cycles
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(fetches_, 1);
+}
+
+TEST_F(CacheTest, MshrMergesSameLine)
+{
+    Cache c(smallCfg());
+    Cycle t1 = c.load(128, 0, fixedFetch());
+    Cycle t2 = c.load(128, 1, fixedFetch());
+    EXPECT_EQ(t2, t1); // merged into the outstanding miss
+    EXPECT_EQ(c.mshrMerges(), 1u);
+    EXPECT_EQ(fetches_, 1);
+}
+
+TEST_F(CacheTest, LruEviction)
+{
+    Cache c(smallCfg());
+    // Three lines mapping to the same set (4 sets => stride 512).
+    c.load(0, 0, fixedFetch());
+    c.load(512, 1000, fixedFetch());
+    c.load(1024, 2000, fixedFetch()); // evicts line 0
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_TRUE(c.contains(512));
+    EXPECT_TRUE(c.contains(1024));
+}
+
+TEST_F(CacheTest, MshrExhaustionBackPressure)
+{
+    Cache c(smallCfg()); // 4 MSHRs
+    Cycle last = 0;
+    for (int i = 0; i < 4; ++i)
+        last = c.load(static_cast<Addr>(i) * 128, 0, fixedFetch(1000));
+    // Fifth distinct miss at t=4 must wait for an MSHR.
+    Cycle t5 = c.load(5 * 128, 4, fixedFetch(1000));
+    EXPECT_GT(t5, last);
+}
+
+TEST_F(CacheTest, WriteThroughNoAllocate)
+{
+    Cache c(smallCfg());
+    bool hit = true;
+    c.store(256, 0, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_FALSE(c.contains(256)); // no allocation on store miss
+}
+
+TEST_F(CacheTest, WriteAllocateAndDirtyWriteback)
+{
+    CacheConfig cfg = smallCfg();
+    cfg.writeAllocate = true;
+    Cache c(cfg);
+    int writebacks = 0;
+    c.setWriteback([&](Addr, Cycle) { ++writebacks; });
+
+    bool hit = true;
+    c.store(0, 0, &hit);
+    EXPECT_FALSE(hit);
+    EXPECT_TRUE(c.contains(0)); // allocated dirty
+    c.store(0, 10, &hit);
+    EXPECT_TRUE(hit);
+
+    // Fill the set and evict the dirty line.
+    c.store(512, 20);
+    c.store(1024, 30); // evicts line 0 (dirty) -> writeback
+    EXPECT_EQ(writebacks, 1);
+    EXPECT_FALSE(c.contains(0));
+
+    // Evicting the remaining dirty lines writes back too; clean load
+    // fills do not.
+    c.load(1536, 40, fixedFetch());
+    EXPECT_EQ(writebacks, 2);
+}
+
+TEST_F(CacheTest, FlushClearsTags)
+{
+    Cache c(smallCfg());
+    c.load(0, 0, fixedFetch());
+    EXPECT_TRUE(c.contains(0));
+    c.flush();
+    EXPECT_FALSE(c.contains(0));
+}
+
+TEST_F(CacheTest, StatsCollected)
+{
+    Cache c(smallCfg());
+    c.load(0, 0, fixedFetch());
+    c.load(0, 500, fixedFetch());
+    c.store(0, 600);
+    StatSet s;
+    c.collectStats(s);
+    EXPECT_DOUBLE_EQ(s.get("t.hits"), 1.0);
+    EXPECT_DOUBLE_EQ(s.get("t.misses"), 1.0);
+    EXPECT_DOUBLE_EQ(s.get("t.stores"), 1.0);
+}
+
+} // namespace
+} // namespace gex::mem

@@ -1,0 +1,89 @@
+/** @file Unit tests: SRAM model and Table 2 overhead reproduction. */
+
+#include <gtest/gtest.h>
+
+#include "power/overheads.hpp"
+#include "power/sram_model.hpp"
+
+namespace gex::power {
+namespace {
+
+TEST(SramModel, MonotoneInSize)
+{
+    EXPECT_LT(SramModel::areaMm2(8 * 1024), SramModel::areaMm2(32 * 1024));
+    EXPECT_LT(SramModel::leakageMw(8 * 1024),
+              SramModel::leakageMw(32 * 1024));
+    EXPECT_LT(SramModel::accessEnergyPj(8 * 1024),
+              SramModel::accessEnergyPj(32 * 1024));
+}
+
+TEST(SramModel, TotalPowerIncludesDynamic)
+{
+    double idle = SramModel::totalPowerMw(16 * 1024, 0.0);
+    double busy = SramModel::totalPowerMw(16 * 1024, 1e9);
+    EXPECT_NEAR(idle, SramModel::leakageMw(16 * 1024), 1e-9);
+    EXPECT_GT(busy, idle);
+}
+
+/** Table 2 rows from the paper, for comparison. */
+struct PaperRow {
+    std::uint64_t kb;
+    double smArea, gpuArea, smPower, gpuPower;
+};
+constexpr PaperRow kPaper[] = {
+    {8, 1.04, 0.47, 1.82, 1.28},
+    {16, 1.47, 0.67, 2.34, 1.64},
+    {20, 1.67, 0.76, 2.61, 1.83},
+    {32, 2.36, 1.08, 3.38, 2.37},
+};
+
+TEST(Table2, MatchesPaperWithinTolerance)
+{
+    auto rows = table2();
+    ASSERT_EQ(rows.size(), 4u);
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = rows[i];
+        const auto &p = kPaper[i];
+        EXPECT_EQ(r.logBytes, p.kb * 1024);
+        // Within 10% relative of the published numbers.
+        EXPECT_NEAR(r.smAreaPct, p.smArea, p.smArea * 0.10) << p.kb;
+        EXPECT_NEAR(r.gpuAreaPct, p.gpuArea, p.gpuArea * 0.10) << p.kb;
+        EXPECT_NEAR(r.smPowerPct, p.smPower, p.smPower * 0.10) << p.kb;
+        EXPECT_NEAR(r.gpuPowerPct, p.gpuPower, p.gpuPower * 0.10) << p.kb;
+    }
+}
+
+TEST(Table2, PaperHeadlineClaim)
+{
+    // "For all log sizes except the largest studied (32 KB), the total
+    // GPU overheads are below 1% area and 2% power."
+    auto rows = table2();
+    for (const auto &r : rows) {
+        if (r.logBytes < 32 * 1024) {
+            EXPECT_LT(r.gpuAreaPct, 1.0);
+            EXPECT_LT(r.gpuPowerPct, 2.0);
+        }
+    }
+}
+
+TEST(Table2, GpuPercentagesConsistentWithSm)
+{
+    GpuAreaPowerBaseline base;
+    auto row = operandLogOverheads(16 * 1024, base);
+    // GPU % = SM % x (smArea x numSms / gpuArea) etc.
+    double area_scale = base.smAreaMm2 * base.numSms / base.gpuAreaMm2;
+    EXPECT_NEAR(row.gpuAreaPct, row.smAreaPct * area_scale, 1e-9);
+    double power_scale = base.smPowerW * base.numSms / base.gpuPowerW;
+    EXPECT_NEAR(row.gpuPowerPct, row.smPowerPct * power_scale, 1e-9);
+}
+
+TEST(Table2, FormatContainsAllRows)
+{
+    std::string s = formatTable2(table2());
+    EXPECT_NE(s.find("8 KB"), std::string::npos);
+    EXPECT_NE(s.find("32 KB"), std::string::npos);
+    EXPECT_NE(s.find("SM Area"), std::string::npos);
+}
+
+} // namespace
+} // namespace gex::power

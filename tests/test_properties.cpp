@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Property tests: randomized structured kernels swept through the
+ * functional simulator and every exception scheme. Invariants:
+ *
+ *  1. the timing simulator commits exactly the traced instructions,
+ *     once each, under every scheme, with and without faults;
+ *  2. simulation is deterministic (same inputs -> same cycles);
+ *  3. an unbounded operand log reproduces baseline cycles exactly
+ *     (the paper's section 3.3 design goal);
+ *  4. functional results do not depend on the timing scheme (traces
+ *     are generated once and replayed).
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/functional_sim.hpp"
+#include "gpu/gpu.hpp"
+#include "kasm/builder.hpp"
+
+namespace gex {
+namespace {
+
+using kasm::Cmp;
+using kasm::KernelBuilder;
+using kasm::Reg;
+using kasm::SpecialReg;
+
+constexpr Addr kIn = 1 << 20;
+constexpr Addr kOut = 8 << 20;
+constexpr std::uint64_t kElems = 1 << 15;
+
+struct Built {
+    func::GlobalMemory mem;
+    func::Kernel kernel;
+    trace::KernelTrace trace;
+};
+
+/**
+ * Generate a random but well-formed kernel: a mix of ALU/FP ops over
+ * a small register window, coalesced and strided loads/stores, an
+ * optional divergent if-region, an optional uniform loop, optional
+ * shared-memory traffic with a barrier, and optional atomics.
+ */
+void
+buildRandom(Built &bt, std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (std::uint64_t i = 0; i < kElems; ++i)
+        bt.mem.write64(kIn + i * 8, rng.next() & 0xffff);
+
+    KernelBuilder b("rand" + std::to_string(seed));
+    b.setNumParams(2);
+    bool use_shared = rng.below(2) == 0;
+    if (use_shared)
+        b.setSharedBytes(2048);
+
+    // r0 gtid, r1 in, r2 out, r3 byte offset, r4..r11 data regs.
+    b.s2r(0, SpecialReg::GlobalTid);
+    b.ldparam(1, 0);
+    b.ldparam(2, 1);
+    b.andi(3, 0, static_cast<std::int64_t>(kElems - 1));
+    b.shli(3, 3, 3);
+    for (Reg r = 4; r <= 11; ++r)
+        b.movi(r, static_cast<std::int64_t>(rng.below(100)));
+
+    auto data_reg = [&]() -> Reg {
+        return static_cast<Reg>(4 + rng.below(8));
+    };
+
+    int ops = 20 + static_cast<int>(rng.below(40));
+    for (int i = 0; i < ops; ++i) {
+        switch (rng.below(10)) {
+          case 0: { // coalesced load
+            b.iadd(12, 1, 3);
+            b.ldGlobal(data_reg(), 12,
+                       static_cast<std::int64_t>(rng.below(8)) * 8);
+            break;
+          }
+          case 1: { // strided load (poor coalescing)
+            b.shli(12, 0, 3 + static_cast<std::int64_t>(rng.below(4)));
+            b.andi(12, 12, static_cast<std::int64_t>(kElems * 8 - 8));
+            b.iadd(12, 12, 1);
+            b.ldGlobal(data_reg(), 12);
+            break;
+          }
+          case 2: { // store
+            b.iadd(12, 2, 3);
+            b.stGlobal(12, static_cast<std::int64_t>(rng.below(8)) * 8,
+                       data_reg());
+            break;
+          }
+          case 3: // atomic
+            b.iadd(12, 2, 3);
+            b.atomAdd(isa::kRegZero, 12, data_reg());
+            break;
+          case 4:
+            b.ffma(data_reg(), data_reg(), data_reg(), data_reg());
+            break;
+          case 5:
+            b.fsin(data_reg(), data_reg());
+            break;
+          case 6: { // shared round trip
+            if (use_shared) {
+                b.andi(12, 0, 255);
+                b.shli(12, 12, 3);
+                b.stShared(12, 0, data_reg());
+                b.ldShared(data_reg(), 12);
+            } else {
+                b.imul(data_reg(), data_reg(), data_reg());
+            }
+            break;
+          }
+          case 7: { // divergent if-region
+            Reg v = data_reg();
+            b.andi(12, 0, 3);
+            b.setpi(1, Cmp::EQ, 12,
+                    static_cast<std::int64_t>(rng.below(4)));
+            auto merge = b.label();
+            b.ssy(merge);
+            b.guard(1, true);
+            b.bra(merge);
+            b.clearGuard();
+            b.iaddi(v, v, 7);
+            b.imuli(v, v, 3);
+            b.bind(merge);
+            b.join();
+            break;
+          }
+          case 8: { // short uniform loop
+            Reg v = data_reg();
+            b.movi(13, 0);
+            auto loop = b.label();
+            b.bind(loop);
+            b.iaddi(v, v, 1);
+            b.iaddi(13, 13, 1);
+            b.setpi(2, Cmp::LT, 13,
+                    2 + static_cast<std::int64_t>(rng.below(4)));
+            b.guard(2);
+            b.bra(loop);
+            b.clearGuard();
+            break;
+          }
+          default:
+            b.iadd(data_reg(), data_reg(), data_reg());
+            break;
+        }
+    }
+    if (use_shared)
+        b.bar();
+    b.iadd(12, 2, 3);
+    b.stGlobal(12, 0, 4);
+    b.exit();
+
+    bt.kernel.program = b.build();
+    bt.kernel.grid = {8 + static_cast<std::uint32_t>(rng.below(24)), 1, 1};
+    bt.kernel.block = {32u * (1 + static_cast<std::uint32_t>(rng.below(4))),
+                       1, 1};
+    bt.kernel.params = {kIn, kOut};
+    bt.kernel.buffers.push_back(
+        {"in", kIn, kElems * 8, func::BufferKind::Input});
+    bt.kernel.buffers.push_back(
+        {"out", kOut, kElems * 8, func::BufferKind::Output});
+    func::FunctionalSim fsim(bt.mem);
+    bt.trace = fsim.run(bt.kernel);
+}
+
+gpu::SimResult
+timed(const Built &bt, gpu::Scheme s, const vm::VmPolicy &policy,
+      std::uint32_t log_bytes = 16 * 1024)
+{
+    gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+    cfg.scheme = s;
+    cfg.operandLogBytes = log_bytes;
+    gpu::Gpu g(cfg);
+    return g.run(bt.kernel, bt.trace, policy);
+}
+
+class RandomKernel : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomKernel, AllSchemesCommitExactlyTheTrace)
+{
+    Built bt;
+    buildRandom(bt, GetParam());
+    for (auto s : {gpu::Scheme::StallOnFault, gpu::Scheme::WarpDisableCommit,
+                   gpu::Scheme::WarpDisableLastCheck,
+                   gpu::Scheme::ReplayQueue, gpu::Scheme::OperandLog}) {
+        auto r = timed(bt, s, vm::VmPolicy::allResident());
+        EXPECT_EQ(r.instructions, bt.trace.dynamicInsts())
+            << "scheme " << gpu::schemeName(s) << " seed " << GetParam();
+    }
+}
+
+TEST_P(RandomKernel, AllSchemesSurviveDemandPaging)
+{
+    Built bt;
+    buildRandom(bt, GetParam());
+    for (auto s : {gpu::Scheme::StallOnFault, gpu::Scheme::ReplayQueue,
+                   gpu::Scheme::WarpDisableLastCheck,
+                   gpu::Scheme::OperandLog}) {
+        auto r = timed(bt, s, vm::VmPolicy::demandPaging());
+        EXPECT_EQ(r.instructions, bt.trace.dynamicInsts())
+            << "scheme " << gpu::schemeName(s) << " seed " << GetParam();
+        EXPECT_GT(r.stats.get("mmu.faults"), 0.0);
+    }
+}
+
+TEST_P(RandomKernel, DeterministicCycles)
+{
+    Built bt;
+    buildRandom(bt, GetParam());
+    auto r1 = timed(bt, gpu::Scheme::ReplayQueue, vm::VmPolicy::demandPaging());
+    auto r2 = timed(bt, gpu::Scheme::ReplayQueue, vm::VmPolicy::demandPaging());
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.instructions, r2.instructions);
+}
+
+TEST_P(RandomKernel, UnboundedOperandLogReproducesBaseline)
+{
+    Built bt;
+    buildRandom(bt, GetParam());
+    auto base = timed(bt, gpu::Scheme::StallOnFault,
+                      vm::VmPolicy::allResident());
+    auto ol = timed(bt, gpu::Scheme::OperandLog,
+                    vm::VmPolicy::allResident(), 64 * 1024 * 1024);
+    EXPECT_EQ(ol.cycles, base.cycles) << "seed " << GetParam();
+}
+
+TEST_P(RandomKernel, BlockSwitchingPreservesInstructionCount)
+{
+    Built bt;
+    buildRandom(bt, GetParam());
+    gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+    cfg.scheme = gpu::Scheme::ReplayQueue;
+    cfg.blockSwitching = true;
+    gpu::Gpu g(cfg);
+    auto r = g.run(bt.kernel, bt.trace, vm::VmPolicy::demandPaging());
+    EXPECT_EQ(r.instructions, bt.trace.dynamicInsts());
+}
+
+TEST_P(RandomKernel, LocalHandlingPreservesInstructionCount)
+{
+    Built bt;
+    buildRandom(bt, GetParam());
+    auto r = timed(bt, gpu::Scheme::ReplayQueue,
+                   vm::VmPolicy::outputFaults(true));
+    EXPECT_EQ(r.instructions, bt.trace.dynamicInsts());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomKernel,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89, 144, 233));
+
+} // namespace
+} // namespace gex

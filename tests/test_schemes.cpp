@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Integration tests: the five exception schemes on fault-free runs —
+ * the cycle-count orderings the paper's design analysis predicts
+ * (section 3), including the Figure 4/6/7 pipeline relationships.
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/functional_sim.hpp"
+#include "gpu/gpu.hpp"
+#include "kasm/builder.hpp"
+
+namespace gex {
+namespace {
+
+using kasm::KernelBuilder;
+using kasm::SpecialReg;
+
+struct Built {
+    func::GlobalMemory mem;
+    func::Kernel kernel;
+    trace::KernelTrace trace;
+};
+
+/**
+ * A memory-intense, low-occupancy kernel in the spirit of the paper's
+ * running example: loads through a stepped address register (WAR
+ * chain) with little TLP — the case that separates the schemes.
+ */
+void
+buildMemChain(Built &bt, int loads = 16, std::uint32_t blocks = 4)
+{
+    constexpr Addr in = 1 << 20;
+    for (int i = 0; i < 65536; ++i)
+        bt.mem.write64(in + 8 * static_cast<Addr>(i), 1);
+    KernelBuilder b("memchain");
+    b.setNumParams(1);
+    b.setMinRegs(128); // low occupancy: 8 warps per SM
+    b.s2r(0, SpecialReg::GlobalTid);
+    b.ldparam(1, 0);
+    b.shli(2, 0, 3);
+    b.iadd(1, 1, 2);
+    for (int i = 0; i < loads; ++i) {
+        b.ldGlobal(static_cast<kasm::Reg>(3 + i), 1);
+        b.iaddi(1, 1, 4096); // WAR on the load's address register
+    }
+    b.movi(20, 0);
+    for (int i = 0; i < loads; ++i)
+        b.fadd(20, 20, static_cast<kasm::Reg>(3 + i));
+    b.exit();
+    bt.kernel.program = b.build();
+    bt.kernel.grid = {blocks, 1, 1};
+    bt.kernel.block = {256, 1, 1};
+    bt.kernel.params = {in};
+    func::FunctionalSim fsim(bt.mem);
+    bt.trace = fsim.run(bt.kernel);
+}
+
+Cycle
+cyclesUnder(const Built &bt, gpu::Scheme s, std::uint32_t log_kb = 16)
+{
+    gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+    cfg.scheme = s;
+    cfg.operandLogBytes = log_kb * 1024;
+    gpu::Gpu g(cfg);
+    auto r = g.run(bt.kernel, bt.trace);
+    EXPECT_EQ(r.instructions, bt.trace.dynamicInsts());
+    return r.cycles;
+}
+
+class SchemeOrdering : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        built_ = new Built;
+        buildMemChain(*built_);
+        base_ = cyclesUnder(*built_, gpu::Scheme::StallOnFault);
+        wdc_ = cyclesUnder(*built_, gpu::Scheme::WarpDisableCommit);
+        wdl_ = cyclesUnder(*built_, gpu::Scheme::WarpDisableLastCheck);
+        rq_ = cyclesUnder(*built_, gpu::Scheme::ReplayQueue);
+        ol_ = cyclesUnder(*built_, gpu::Scheme::OperandLog);
+    }
+    static void
+    TearDownTestSuite()
+    {
+        delete built_;
+        built_ = nullptr;
+    }
+
+    static Built *built_;
+    static Cycle base_, wdc_, wdl_, rq_, ol_;
+};
+
+Built *SchemeOrdering::built_ = nullptr;
+Cycle SchemeOrdering::base_, SchemeOrdering::wdc_, SchemeOrdering::wdl_,
+    SchemeOrdering::rq_, SchemeOrdering::ol_;
+
+TEST_F(SchemeOrdering, WdCommitIsTheSlowest)
+{
+    EXPECT_GT(wdc_, base_);
+    EXPECT_GE(wdc_, wdl_);
+    EXPECT_GE(wdc_, rq_);
+    EXPECT_GE(wdc_, ol_);
+}
+
+TEST_F(SchemeOrdering, LastCheckRecoversOverCommit)
+{
+    // Paper section 3.1: re-enabling at the last TLB check recovers a
+    // significant fraction of the wd-commit loss.
+    EXPECT_LT(wdl_, wdc_);
+}
+
+TEST_F(SchemeOrdering, ReplayQueueBeatsWarpDisable)
+{
+    EXPECT_LE(rq_, wdl_);
+}
+
+TEST_F(SchemeOrdering, OperandLogApproachesBaseline)
+{
+    // Paper section 3.3: with a sufficiently large log, OL preserves
+    // the baseline pipeline's performance.
+    double ratio = static_cast<double>(base_) / static_cast<double>(ol_);
+    EXPECT_GT(ratio, 0.97);
+}
+
+TEST_F(SchemeOrdering, ReplayQueuePaysForWarChains)
+{
+    // The WAR-heavy chain makes RQ measurably slower than baseline.
+    EXPECT_GT(rq_, base_);
+}
+
+TEST(SchemeLog, TinyLogThrottlesOperandLogScheme)
+{
+    Built bt;
+    buildMemChain(bt, 16, 4);
+    Cycle big = cyclesUnder(bt, gpu::Scheme::OperandLog, 32);
+    Cycle tiny = cyclesUnder(bt, gpu::Scheme::OperandLog, 2);
+    EXPECT_GT(tiny, big);
+}
+
+TEST(SchemeLog, LogSizeMonotone)
+{
+    Built bt;
+    buildMemChain(bt, 16, 4);
+    Cycle c2 = cyclesUnder(bt, gpu::Scheme::OperandLog, 2);
+    Cycle c8 = cyclesUnder(bt, gpu::Scheme::OperandLog, 8);
+    Cycle c32 = cyclesUnder(bt, gpu::Scheme::OperandLog, 32);
+    EXPECT_GE(c2, c8);
+    EXPECT_GE(c8, c32);
+}
+
+TEST(SchemeTlp, HighOccupancyHidesSchemeCosts)
+{
+    // Paper section 5.2: benchmarks with high TLP show little
+    // difference between schemes. Use a high-occupancy variant.
+    constexpr Addr in = 1 << 20;
+    Built bt;
+    for (int i = 0; i < 65536; ++i)
+        bt.mem.write64(in + 8 * static_cast<Addr>(i), 1);
+    KernelBuilder b("tlp");
+    b.setNumParams(1);
+    b.s2r(0, SpecialReg::GlobalTid);
+    b.ldparam(1, 0);
+    b.andi(2, 0, 4095);
+    b.shli(2, 2, 3);
+    b.iadd(1, 1, 2);
+    for (int i = 0; i < 4; ++i) {
+        b.ldGlobal(3, 1, i * 64);
+        b.iadd(4, 4, 3);
+    }
+    b.exit();
+    bt.kernel.program = b.build();
+    bt.kernel.grid = {64, 1, 1};
+    bt.kernel.block = {256, 1, 1}; // low regs -> high occupancy
+    bt.kernel.params = {in};
+    func::FunctionalSim fsim(bt.mem);
+    bt.trace = fsim.run(bt.kernel);
+
+    Cycle base = cyclesUnder(bt, gpu::Scheme::StallOnFault);
+    Cycle rq = cyclesUnder(bt, gpu::Scheme::ReplayQueue);
+    double ratio = static_cast<double>(base) / static_cast<double>(rq);
+    EXPECT_GT(ratio, 0.90);
+}
+
+} // namespace
+} // namespace gex

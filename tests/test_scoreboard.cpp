@@ -1,0 +1,102 @@
+/** @file Unit tests: scoreboard hazard tracking. */
+
+#include <gtest/gtest.h>
+
+#include "sm/scoreboard.hpp"
+
+namespace gex::sm {
+namespace {
+
+TEST(Scoreboard, UntrackedNamesAlwaysFree)
+{
+    Scoreboard sb;
+    sb.init(4);
+    EXPECT_EQ(Scoreboard::regName(isa::kRegZero), -1);
+    EXPECT_EQ(Scoreboard::predName(isa::kPredTrue), -1);
+    EXPECT_TRUE(sb.canRead(0, -1));
+    EXPECT_TRUE(sb.canWrite(0, -1));
+}
+
+TEST(Scoreboard, RawHazard)
+{
+    Scoreboard sb;
+    sb.init(2);
+    int r5 = Scoreboard::regName(5);
+    sb.acquireWrite(0, r5);
+    EXPECT_FALSE(sb.canRead(0, r5)); // RAW
+    EXPECT_FALSE(sb.canWrite(0, r5)); // WAW
+    sb.releaseWrite(0, r5);
+    EXPECT_TRUE(sb.canRead(0, r5));
+    EXPECT_TRUE(sb.canWrite(0, r5));
+}
+
+TEST(Scoreboard, WarHazardViaSourceHold)
+{
+    Scoreboard sb;
+    sb.init(2);
+    int r3 = Scoreboard::regName(3);
+    sb.acquireSource(0, r3);
+    EXPECT_TRUE(sb.canRead(0, r3));   // reads still fine
+    EXPECT_FALSE(sb.canWrite(0, r3)); // WAR blocks writes
+    sb.releaseSource(0, r3);
+    EXPECT_TRUE(sb.canWrite(0, r3));
+}
+
+TEST(Scoreboard, CountsNest)
+{
+    Scoreboard sb;
+    sb.init(1);
+    int r = Scoreboard::regName(1);
+    sb.acquireSource(0, r);
+    sb.acquireSource(0, r);
+    sb.releaseSource(0, r);
+    EXPECT_FALSE(sb.canWrite(0, r)); // one hold remains
+    sb.releaseSource(0, r);
+    EXPECT_TRUE(sb.canWrite(0, r));
+}
+
+TEST(Scoreboard, WarpsIndependent)
+{
+    Scoreboard sb;
+    sb.init(3);
+    int r = Scoreboard::regName(7);
+    sb.acquireWrite(1, r);
+    EXPECT_TRUE(sb.canRead(0, r));
+    EXPECT_FALSE(sb.canRead(1, r));
+    EXPECT_TRUE(sb.canRead(2, r));
+}
+
+TEST(Scoreboard, PredicateNamespaceSeparate)
+{
+    Scoreboard sb;
+    sb.init(1);
+    int p0 = Scoreboard::predName(0);
+    int r0 = Scoreboard::regName(0);
+    EXPECT_NE(p0, r0);
+    sb.acquireWrite(0, p0);
+    EXPECT_TRUE(sb.canRead(0, r0));
+    EXPECT_FALSE(sb.canRead(0, p0));
+    sb.releaseWrite(0, p0);
+}
+
+TEST(Scoreboard, CleanDetectsLeaks)
+{
+    Scoreboard sb;
+    sb.init(2);
+    EXPECT_TRUE(sb.clean(0));
+    sb.acquireSource(0, Scoreboard::regName(9));
+    EXPECT_FALSE(sb.clean(0));
+    EXPECT_TRUE(sb.clean(1));
+    sb.releaseSource(0, Scoreboard::regName(9));
+    EXPECT_TRUE(sb.clean(0));
+}
+
+TEST(ScoreboardDeath, ReleaseUnderflowPanics)
+{
+    Scoreboard sb;
+    sb.init(1);
+    EXPECT_DEATH(sb.releaseWrite(0, Scoreboard::regName(2)), "underflow");
+}
+
+} // namespace
+} // namespace gex::sm

@@ -1,0 +1,137 @@
+/** @file Unit tests: SIMT reconvergence stack. */
+
+#include <gtest/gtest.h>
+
+#include "func/simt_stack.hpp"
+
+namespace gex::func {
+namespace {
+
+TEST(SimtStack, ResetSingleEntry)
+{
+    SimtStack s;
+    s.reset(kFullMask);
+    ASSERT_FALSE(s.empty());
+    EXPECT_EQ(s.top().pc, 0u);
+    EXPECT_EQ(s.top().mask, kFullMask);
+    EXPECT_EQ(s.top().rpc, kNoRpc);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, UniformAdvance)
+{
+    SimtStack s;
+    s.reset(kFullMask);
+    EXPECT_TRUE(s.advance(1));
+    EXPECT_EQ(s.top().pc, 1u);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, DivergeAndReconverge)
+{
+    SimtStack s;
+    s.reset(0xffffffffu);
+    s.pushScope(10); // SSY @10
+    // Divergent branch at pc 2: taken -> 5, fall-through -> 3.
+    s.diverge(5, 3, s.scopeTarget(), 0x0000ffffu, 0xffff0000u);
+    // Taken side executes first.
+    EXPECT_EQ(s.top().pc, 5u);
+    EXPECT_EQ(s.top().mask, 0x0000ffffu);
+    EXPECT_EQ(s.depth(), 3u);
+    // Taken side reaches the reconvergence point.
+    EXPECT_TRUE(s.advance(10));
+    EXPECT_EQ(s.top().pc, 3u);
+    EXPECT_EQ(s.top().mask, 0xffff0000u);
+    // Fall-through side reaches it too.
+    EXPECT_TRUE(s.advance(10));
+    EXPECT_EQ(s.top().pc, 10u);
+    EXPECT_EQ(s.top().mask, 0xffffffffu);
+    EXPECT_EQ(s.depth(), 1u);
+    // The SSY scope closed when the converged flow passed its label.
+    EXPECT_EQ(s.scopeTarget(), kNoRpc);
+}
+
+TEST(SimtStack, BranchDirectlyToReconvergenceFolds)
+{
+    SimtStack s;
+    s.reset(kFullMask);
+    s.pushScope(8);
+    // Guard-skip: taken lanes jump straight to the reconvergence pc.
+    s.diverge(8, 3, s.scopeTarget(), 0x1u, ~0x1u & kFullMask);
+    // Only the fall-through side was pushed.
+    EXPECT_EQ(s.depth(), 2u);
+    EXPECT_EQ(s.top().pc, 3u);
+    EXPECT_EQ(s.top().mask, ~0x1u & kFullMask);
+    EXPECT_TRUE(s.advance(8));
+    EXPECT_EQ(s.top().pc, 8u);
+    EXPECT_EQ(s.top().mask, kFullMask);
+}
+
+TEST(SimtStack, NestedScopes)
+{
+    SimtStack s;
+    s.reset(kFullMask);
+    s.pushScope(20);               // outer SSY @20
+    s.diverge(5, 3, 20, 0xffffu, 0xffff0000u);
+    EXPECT_EQ(s.top().pc, 5u);
+    s.pushScope(10);               // inner SSY @10 on the taken path
+    EXPECT_EQ(s.scopeTarget(), 10u);
+    s.diverge(7, 6, 10, 0xffu, 0xff00u);
+    EXPECT_EQ(s.top().mask, 0xffu);
+    EXPECT_TRUE(s.advance(10));    // inner taken reconverges
+    EXPECT_EQ(s.top().mask, 0xff00u);
+    EXPECT_TRUE(s.advance(10));    // inner fall reconverges
+    EXPECT_EQ(s.top().mask, 0xffffu);
+    EXPECT_EQ(s.scopeTarget(), 20u); // inner scope closed
+    EXPECT_TRUE(s.advance(20));    // outer taken side done
+    EXPECT_EQ(s.top().mask, 0xffff0000u);
+    EXPECT_TRUE(s.advance(20));
+    EXPECT_EQ(s.top().mask, kFullMask);
+    EXPECT_EQ(s.scopeTarget(), kNoRpc);
+}
+
+TEST(SimtStack, LoopWithProgressiveExit)
+{
+    // while-style loop at pcs [1..4], exit label 5; lanes exit over
+    // two iterations.
+    SimtStack s;
+    s.reset(0xfu);
+    s.pushScope(5);
+    s.advance(1);
+    // Iteration 1: lane 0 exits (takes branch to 5 == rpc).
+    s.diverge(5, 2, 5, 0x1u, 0xeu);
+    EXPECT_EQ(s.top().pc, 2u);
+    EXPECT_EQ(s.top().mask, 0xeu);
+    s.advance(3);
+    s.advance(1); // back edge
+    // Iteration 2: remaining lanes exit together (uniform).
+    EXPECT_TRUE(s.advance(5));
+    EXPECT_EQ(s.top().pc, 5u);
+    EXPECT_EQ(s.top().mask, 0xfu);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, RemoveLanesErasesEmptyEntries)
+{
+    SimtStack s;
+    s.reset(0xffu);
+    s.pushScope(9);
+    s.diverge(4, 2, 9, 0x0fu, 0xf0u);
+    EXPECT_EQ(s.depth(), 3u);
+    s.removeLanes(0x0fu); // all taken-side lanes exit
+    EXPECT_EQ(s.depth(), 2u);
+    EXPECT_EQ(s.top().mask, 0xf0u);
+    s.removeLanes(0xf0u);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(SimtStack, AdvanceReturnsFalseWhenEmptiedByRemoval)
+{
+    SimtStack s;
+    s.reset(0x1u);
+    s.removeLanes(0x1u);
+    EXPECT_TRUE(s.empty());
+}
+
+} // namespace
+} // namespace gex::func

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Integration tests: the SM timing pipeline on small kernels —
+ * instruction accounting, latency plausibility, barrier handling,
+ * occupancy and the Figure 3 pipeline-behaviour example.
+ */
+
+#include <gtest/gtest.h>
+
+#include "func/functional_sim.hpp"
+#include "gpu/context_switch.hpp"
+#include "gpu/gpu.hpp"
+#include "kasm/builder.hpp"
+
+namespace gex {
+namespace {
+
+using kasm::Cmp;
+using kasm::KernelBuilder;
+using kasm::SpecialReg;
+
+struct Built {
+    func::GlobalMemory mem;
+    func::Kernel kernel;
+    trace::KernelTrace trace;
+};
+
+void
+finish(Built &bt, isa::Program prog, std::uint32_t threads,
+       std::uint32_t blocks, std::vector<std::uint64_t> params)
+{
+    bt.kernel.program = std::move(prog);
+    bt.kernel.grid = {blocks, 1, 1};
+    bt.kernel.block = {threads, 1, 1};
+    bt.kernel.params = std::move(params);
+    func::FunctionalSim fsim(bt.mem);
+    bt.trace = fsim.run(bt.kernel);
+}
+
+/** out[i] = in[i] * 2 + 1 over one warp per block. */
+void
+buildStream(Built &bt, std::uint32_t blocks)
+{
+    constexpr Addr in = 1 << 20, out = 2 << 20;
+    for (int i = 0; i < 4096; ++i)
+        bt.mem.write64(in + 8 * static_cast<Addr>(i),
+                       static_cast<std::uint64_t>(i));
+    KernelBuilder b("stream");
+    b.setNumParams(2);
+    b.s2r(0, SpecialReg::GlobalTid);
+    b.ldparam(1, 0);
+    b.ldparam(2, 1);
+    b.shli(3, 0, 3);
+    b.iadd(4, 3, 1);
+    b.ldGlobal(5, 4);
+    b.shli(5, 5, 1);
+    b.iaddi(5, 5, 1);
+    b.iadd(4, 3, 2);
+    b.stGlobal(4, 0, 5);
+    b.exit();
+    finish(bt, b.build(), 32, blocks, {in, out});
+}
+
+TEST(TimingSm, CommitsEveryTraceInstructionExactlyOnce)
+{
+    Built bt;
+    buildStream(bt, 8);
+    gpu::Gpu g(gpu::GpuConfig::baseline());
+    auto r = g.run(bt.kernel, bt.trace);
+    EXPECT_EQ(r.instructions, bt.trace.dynamicInsts());
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(TimingSm, SingleWarpLatencyPlausible)
+{
+    Built bt;
+    buildStream(bt, 1);
+    gpu::Gpu g(gpu::GpuConfig::baseline());
+    auto r = g.run(bt.kernel, bt.trace);
+    // 11 instructions; the load goes to DRAM (~350+ cycles); the whole
+    // thing must finish well under a demand-paging timescale.
+    EXPECT_GT(r.cycles, 300u);
+    EXPECT_LT(r.cycles, 2000u);
+}
+
+TEST(TimingSm, MoreBlocksMoreParallelism)
+{
+    Built one, many;
+    buildStream(one, 1);
+    buildStream(many, 16); // one block per SM
+    gpu::Gpu g(gpu::GpuConfig::baseline());
+    auto r1 = g.run(one.kernel, one.trace);
+    auto r16 = g.run(many.kernel, many.trace);
+    // 16 blocks over 16 SMs should be barely slower than one block.
+    EXPECT_LT(r16.cycles, r1.cycles * 2);
+}
+
+TEST(TimingSm, DependentChainSlowerThanIndependent)
+{
+    auto build = [](Built &bt, bool dependent) {
+        KernelBuilder b("chain");
+        b.movi(0, 1);
+        for (int i = 0; i < 64; ++i) {
+            if (dependent)
+                b.iaddi(0, 0, 1);
+            else
+                b.iaddi(static_cast<kasm::Reg>(1 + (i % 8)), 0, 1);
+        }
+        b.exit();
+        finish(bt, b.build(), 32, 1, {});
+    };
+    Built dep, indep;
+    build(dep, true);
+    build(indep, false);
+    gpu::Gpu g(gpu::GpuConfig::baseline());
+    auto rd = g.run(dep.kernel, dep.trace);
+    auto ri = g.run(indep.kernel, indep.trace);
+    EXPECT_GT(rd.cycles, ri.cycles + 50);
+}
+
+TEST(TimingSm, SfuLatencyLongerThanMath)
+{
+    auto build = [](Built &bt, bool sfu) {
+        KernelBuilder b("lat");
+        b.movi(0, 1);
+        for (int i = 0; i < 32; ++i) {
+            if (sfu)
+                b.fsin(0, 0); // serial SFU chain
+            else
+                b.fadd(0, 0, 0); // serial math chain
+        }
+        b.exit();
+        finish(bt, b.build(), 32, 1, {});
+    };
+    Built s, m;
+    build(s, true);
+    build(m, false);
+    gpu::Gpu g(gpu::GpuConfig::baseline());
+    EXPECT_GT(g.run(s.kernel, s.trace).cycles,
+              g.run(m.kernel, m.trace).cycles);
+}
+
+TEST(TimingSm, BarrierSynchronizesWarps)
+{
+    // Two warps; barrier between shared store and load phases. The
+    // run must complete (barrier releases) and commit everything.
+    Built bt;
+    KernelBuilder b("bar");
+    b.setSharedBytes(64 * 8);
+    b.s2r(0, SpecialReg::TidX);
+    b.shli(1, 0, 3);
+    b.stShared(1, 0, 0);
+    b.bar();
+    b.ldShared(2, 1);
+    b.exit();
+    finish(bt, b.build(), 64, 4, {});
+    gpu::Gpu g(gpu::GpuConfig::baseline());
+    auto r = g.run(bt.kernel, bt.trace);
+    EXPECT_EQ(r.instructions, bt.trace.dynamicInsts());
+}
+
+TEST(TimingSm, CacheHitsSpeedRepeatedAccess)
+{
+    // Same line loaded 32 times by one warp.
+    Built bt;
+    constexpr Addr in = 1 << 20;
+    KernelBuilder b("rep");
+    b.setNumParams(1);
+    b.ldparam(1, 0);
+    for (int i = 0; i < 32; ++i)
+        b.ldGlobal(2, 1);
+    b.exit();
+    finish(bt, b.build(), 32, 1, {in});
+    gpu::Gpu g(gpu::GpuConfig::baseline());
+    auto r = g.run(bt.kernel, bt.trace);
+    EXPECT_GT(r.stats.get("l1.hits") + r.stats.get("l1.mshr_merges"),
+              25.0);
+    EXPECT_LE(r.stats.get("dram.reads"), 2.0);
+}
+
+TEST(TimingSm, Figure3StyleOverlap)
+{
+    // Paper Figure 3: independent ALU op (B) between two loads (A, C)
+    // and a WAR-dependent ALU op (D). With the baseline pipeline, B
+    // and D commit long before the loads; total time ~ one memory
+    // latency, not two.
+    Built bt;
+    constexpr Addr in = 1 << 20;
+    KernelBuilder b("fig3");
+    b.setNumParams(1);
+    b.ldparam(2, 0);  // R2 = address base
+    b.mov(4, 2);      // R4 = second address
+    b.movi(9, 100);
+    b.movi(7, 8);
+    b.ldGlobal(3, 2);        // A: R3 <- ld [R2]
+    b.isubi(9, 9, 4);        // B: independent
+    b.ldGlobal(8, 4, 4096);  // C: R8 <- ld [R4] (different page)
+    b.iaddi(4, 7, 8);        // D: writes R4 (WAR with C)
+    b.exit();
+    finish(bt, b.build(), 32, 1, {in});
+    gpu::Gpu g(gpu::GpuConfig::baseline());
+    auto r = g.run(bt.kernel, bt.trace);
+    // Both loads overlap: well under 2x a DRAM round trip.
+    EXPECT_LT(r.cycles, 1100u);
+}
+
+TEST(Occupancy, RegisterFileLimits)
+{
+    gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+    func::Kernel k;
+    KernelBuilder b("fat");
+    b.setMinRegs(128);
+    b.movi(0, 1);
+    b.exit();
+    k.program = b.build();
+    k.block = {256, 1, 1};
+    k.grid = {1, 1, 1};
+    // 256 threads x 128 regs x 8 B = 256 KB: exactly one block.
+    EXPECT_EQ(gpu::blocksPerSm(cfg, k), 1);
+}
+
+TEST(Occupancy, WarpAndTbLimits)
+{
+    gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+    func::Kernel k;
+    KernelBuilder b("thin");
+    b.movi(0, 1);
+    b.exit();
+    k.program = b.build();
+    k.block = {128, 1, 1}; // 4 warps, 1 register
+    k.grid = {1, 1, 1};
+    // Warp limit 64/4 = 16, TB limit 16 -> 16.
+    EXPECT_EQ(gpu::blocksPerSm(cfg, k), 16);
+    k.block = {1024, 1, 1}; // 32 warps
+    EXPECT_EQ(gpu::blocksPerSm(cfg, k), 2);
+}
+
+TEST(Occupancy, SharedMemoryLimits)
+{
+    gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+    func::Kernel k;
+    KernelBuilder b("shmem");
+    b.setSharedBytes(8 * 1024);
+    b.movi(0, 1);
+    b.exit();
+    k.program = b.build();
+    k.block = {64, 1, 1};
+    k.grid = {1, 1, 1};
+    EXPECT_EQ(gpu::blocksPerSm(cfg, k), 4); // 32 KB / 8 KB
+}
+
+TEST(ContextBytes, IncludesRfSharedAndLog)
+{
+    gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+    func::Kernel k;
+    KernelBuilder b("ctx");
+    b.setSharedBytes(1024);
+    b.movi(7, 1); // 8 registers
+    b.exit();
+    k.program = b.build();
+    k.block = {64, 1, 1};
+    k.grid = {1, 1, 1};
+    std::uint64_t base_bytes = 64ull * 8 * 8 + 1024 + gpu::kControlStateBytes;
+    EXPECT_EQ(gpu::contextBytesPerBlock(cfg, k), base_bytes);
+    cfg.scheme = gpu::Scheme::OperandLog;
+    EXPECT_GT(gpu::contextBytesPerBlock(cfg, k), base_bytes);
+}
+
+} // namespace
+} // namespace gex

@@ -1,0 +1,126 @@
+/** @file Unit tests: TLB tags, miss merging, fault pass-through. */
+
+#include <gtest/gtest.h>
+
+#include "vm/tlb.hpp"
+
+namespace gex::vm {
+namespace {
+
+TlbConfig
+smallCfg()
+{
+    return TlbConfig{"t", 8, 2, 1, 8}; // 4 sets x 2 ways
+}
+
+Tlb::LowerFn
+okLower(Cycle lat, int *count = nullptr)
+{
+    return [lat, count](Addr, Cycle t) {
+        if (count)
+            ++*count;
+        Translation tr;
+        tr.ready = t + lat;
+        return tr;
+    };
+}
+
+Tlb::LowerFn
+faultLower(Cycle resolve_at, FaultKind kind = FaultKind::Migration)
+{
+    return [resolve_at, kind](Addr, Cycle t) {
+        Translation tr;
+        tr.fault = true;
+        tr.detect = t + 500;
+        tr.resolve = resolve_at;
+        tr.kind = kind;
+        return tr;
+    };
+}
+
+TEST(Tlb, HitAfterFill)
+{
+    Tlb tlb(smallCfg());
+    int lowers = 0;
+    Translation t1 = tlb.translate(100, 0, okLower(70, &lowers));
+    EXPECT_FALSE(t1.fault);
+    EXPECT_EQ(t1.ready, 71u);
+    Translation t2 = tlb.translate(100, 200, okLower(70, &lowers));
+    EXPECT_EQ(t2.ready, 201u); // hit latency 1
+    EXPECT_EQ(lowers, 1);
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, PendingMissMerges)
+{
+    Tlb tlb(smallCfg());
+    int lowers = 0;
+    Translation t1 = tlb.translate(7, 0, okLower(100, &lowers));
+    Translation t2 = tlb.translate(7, 5, okLower(100, &lowers));
+    EXPECT_EQ(t2.ready, t1.ready);
+    EXPECT_EQ(lowers, 1);
+    EXPECT_EQ(tlb.merges(), 1u);
+}
+
+TEST(Tlb, SameSetSweepThrashes)
+{
+    Tlb tlb(smallCfg()); // 4 sets, 2 ways
+    int lowers = 0;
+    // Pages 0, 4, 8 all map to set 0; sweeping 3 pages through 2 ways
+    // with well-spaced accesses never hits.
+    Cycle now = 0;
+    for (int round = 0; round < 3; ++round)
+        for (Addr p : {0, 4, 8}) {
+            tlb.translate(p, now, okLower(10, &lowers));
+            now += 1000;
+        }
+    EXPECT_EQ(tlb.hits(), 0u);
+    EXPECT_EQ(lowers, 9);
+}
+
+TEST(Tlb, FaultNotCached)
+{
+    Tlb tlb(smallCfg());
+    Translation t1 = tlb.translate(3, 0, faultLower(5000));
+    EXPECT_TRUE(t1.fault);
+    EXPECT_EQ(t1.resolve, 5000u);
+    EXPECT_FALSE(tlb.contains(3));
+}
+
+TEST(Tlb, SamePageJoinsInflightFault)
+{
+    Tlb tlb(smallCfg());
+    tlb.translate(3, 0, faultLower(5000));
+    Translation t2 = tlb.translate(3, 100, faultLower(9999));
+    EXPECT_TRUE(t2.fault);
+    EXPECT_EQ(t2.kind, FaultKind::Joined);
+    EXPECT_EQ(t2.resolve, 5000u); // joins the original fault
+    // After the fault resolves, a fresh walk happens.
+    int lowers = 0;
+    Translation t3 = tlb.translate(3, 6000, okLower(70, &lowers));
+    EXPECT_FALSE(t3.fault);
+    EXPECT_EQ(lowers, 1);
+}
+
+TEST(Tlb, FlushDropsEverything)
+{
+    Tlb tlb(smallCfg());
+    tlb.translate(1, 0, okLower(10));
+    EXPECT_TRUE(tlb.contains(1));
+    tlb.flush();
+    EXPECT_FALSE(tlb.contains(1));
+}
+
+TEST(Tlb, StatsNamesPrefixed)
+{
+    Tlb tlb(smallCfg());
+    tlb.translate(1, 0, okLower(10));
+    StatSet s;
+    tlb.collectStats(s);
+    EXPECT_TRUE(s.has("t.misses"));
+    EXPECT_DOUBLE_EQ(s.get("t.misses"), 1.0);
+}
+
+} // namespace
+} // namespace gex::vm

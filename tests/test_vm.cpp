@@ -1,0 +1,244 @@
+/** @file Unit tests: page directory, host link, MMU fault routing. */
+
+#include <gtest/gtest.h>
+
+#include "func/kernel.hpp"
+#include "vm/fill_unit.hpp"
+#include "vm/gpu_fault_handler.hpp"
+#include "vm/host_link.hpp"
+#include "vm/memory_manager.hpp"
+#include "vm/page_table.hpp"
+
+namespace gex::vm {
+namespace {
+
+TEST(PageDirectory, DefaultsToResident)
+{
+    PageDirectory d;
+    EXPECT_EQ(d.stateAt(0x123456, 0), RegionState::GpuResident);
+}
+
+TEST(PageDirectory, SetRangeCoversPartialRegions)
+{
+    PageDirectory d;
+    // 100 KB starting mid-region: regions 1 and 2 (64 KB regions).
+    d.setRange(70 * 1024, 100 * 1024, RegionState::CpuOwned);
+    EXPECT_EQ(d.stateAt(70 * 1024, 0), RegionState::CpuOwned);
+    EXPECT_EQ(d.stateAt(169 * 1024, 0), RegionState::CpuOwned);
+    EXPECT_EQ(d.stateAt(10 * 1024, 0), RegionState::GpuResident);
+    EXPECT_EQ(d.stateAt(200 * 1024, 0), RegionState::GpuResident);
+}
+
+TEST(PageDirectory, PendingResolvesOverTime)
+{
+    PageDirectory d;
+    d.setRange(0, 64 * 1024, RegionState::Untouched);
+    d.beginPending(100, 5000);
+    EXPECT_EQ(d.stateAt(100, 4999), RegionState::Pending);
+    EXPECT_EQ(d.pendingReadyAt(100), 5000u);
+    EXPECT_EQ(d.stateAt(100, 5000), RegionState::GpuResident);
+    // Same region, different page.
+    EXPECT_EQ(d.stateAt(60 * 1024, 6000), RegionState::GpuResident);
+}
+
+TEST(HostLink, IsolatedCostsMatchPaper)
+{
+    HostLink nv(HostLinkConfig::nvlink());
+    HostLink pc(HostLinkConfig::pcie());
+    // Paper section 5.3: ~12/10 us NVLink, ~25/12 us PCIe (at 1 GHz).
+    EXPECT_NEAR(nv.isolatedCost(64 * 1024), 12000, 1200);
+    EXPECT_NEAR(nv.isolatedCost(0), 10000, 1000);
+    EXPECT_NEAR(pc.isolatedCost(64 * 1024), 25000, 2500);
+    EXPECT_NEAR(pc.isolatedCost(0), 12000, 1500);
+}
+
+TEST(HostLink, CpuServiceSerializes)
+{
+    HostLink link(HostLinkConfig::nvlink());
+    Cycle r1 = link.serviceFault(0, 0);
+    Cycle r2 = link.serviceFault(0, 0);
+    Cycle r3 = link.serviceFault(0, 0);
+    // Each subsequent fault waits ~one CPU service time more.
+    EXPECT_GE(r2, r1 + 1500);
+    EXPECT_GE(r3, r2 + 1500);
+    EXPECT_EQ(link.faultsServiced(), 3u);
+}
+
+TEST(HostLink, MigrationOccupiesLinkBandwidth)
+{
+    HostLinkConfig cfg = HostLinkConfig::nvlink();
+    HostLink link(cfg);
+    Cycle alloc_only = link.isolatedCost(0);
+    Cycle with_data = link.serviceFault(0, 64 * 1024);
+    EXPECT_GT(with_data, alloc_only + 1000);
+    EXPECT_EQ(link.bytesMigrated(), 64u * 1024u);
+}
+
+TEST(GpuFaultHandler, FixedLatencyParallel)
+{
+    GpuHandlerConfig cfg;
+    cfg.handlerCycles = 20000;
+    GpuFaultHandler h(cfg);
+    EXPECT_EQ(h.handle(100), 20100u);
+    EXPECT_EQ(h.handle(100), 20100u); // fully parallel
+    EXPECT_EQ(h.handled(), 2u);
+}
+
+TEST(GpuFaultHandler, OptionalAllocatorSerialization)
+{
+    GpuHandlerConfig cfg;
+    cfg.handlerCycles = 1000;
+    cfg.allocatorSerialCycles = 300;
+    GpuFaultHandler h(cfg);
+    EXPECT_EQ(h.handle(0), 1000u);
+    EXPECT_EQ(h.handle(0), 1300u);
+    EXPECT_EQ(h.handle(0), 1600u);
+}
+
+class MmuTest : public ::testing::Test
+{
+  protected:
+    MmuTest()
+        : link_(HostLinkConfig::nvlink()), handler_(GpuHandlerConfig{})
+    {}
+
+    SystemMmu
+    makeMmu(bool local)
+    {
+        MmuConfig cfg;
+        cfg.localHandling = local;
+        return SystemMmu(cfg, dir_, link_, handler_);
+    }
+
+    PageDirectory dir_;
+    HostLink link_;
+    GpuFaultHandler handler_;
+};
+
+TEST_F(MmuTest, ResidentPageTranslates)
+{
+    SystemMmu mmu = makeMmu(false);
+    Translation t = mmu.translate(5, 0);
+    EXPECT_FALSE(t.fault);
+    // L2 TLB miss (70) + walk (500).
+    EXPECT_GE(t.ready, 570u);
+    EXPECT_EQ(mmu.walks(), 1u);
+    // Second translation of the same page hits the L2 TLB.
+    Translation t2 = mmu.translate(5, 1000);
+    EXPECT_LE(t2.ready, 1000u + 75u);
+}
+
+TEST_F(MmuTest, CpuOwnedFaultsAsMigration)
+{
+    dir_.setRange(0, 64 * 1024, RegionState::CpuOwned);
+    SystemMmu mmu = makeMmu(false);
+    Translation t = mmu.translate(1, 0);
+    ASSERT_TRUE(t.fault);
+    EXPECT_EQ(t.kind, FaultKind::Migration);
+    EXPECT_GT(t.resolve, t.detect + 10000); // ~12 us migration
+    EXPECT_EQ(link_.bytesMigrated(), 64u * 1024u);
+}
+
+TEST_F(MmuTest, UntouchedRoutesByLocalHandlingFlag)
+{
+    dir_.setRange(0, 128 * 1024, RegionState::Untouched);
+    {
+        SystemMmu mmu = makeMmu(false);
+        Translation t = mmu.translate(1, 0);
+        ASSERT_TRUE(t.fault);
+        EXPECT_EQ(t.kind, FaultKind::CpuAlloc);
+    }
+    {
+        SystemMmu mmu = makeMmu(true);
+        Translation t = mmu.translate(20, 0); // second region
+        ASSERT_TRUE(t.fault);
+        EXPECT_EQ(t.kind, FaultKind::GpuAlloc);
+        EXPECT_EQ(t.resolve, t.detect + 20000);
+    }
+}
+
+TEST_F(MmuTest, SameRegionFaultJoins)
+{
+    dir_.setRange(0, 64 * 1024, RegionState::CpuOwned);
+    SystemMmu mmu = makeMmu(false);
+    Translation t1 = mmu.translate(1, 0);
+    Translation t2 = mmu.translate(2, 10); // other page, same region
+    ASSERT_TRUE(t2.fault);
+    EXPECT_EQ(t2.kind, FaultKind::Joined);
+    EXPECT_EQ(t2.resolve, t1.resolve);
+    EXPECT_EQ(mmu.joinedFaults(), 1u);
+    EXPECT_EQ(link_.faultsServiced(), 1u); // one migration only
+}
+
+TEST_F(MmuTest, AfterResolveTranslatesNormally)
+{
+    dir_.setRange(0, 64 * 1024, RegionState::CpuOwned);
+    SystemMmu mmu = makeMmu(false);
+    Translation t1 = mmu.translate(1, 0);
+    Translation t2 = mmu.translate(1, t1.resolve + 100);
+    EXPECT_FALSE(t2.fault);
+}
+
+TEST_F(MmuTest, PendingFaultQueueDepth)
+{
+    dir_.setRange(0, 4 * 64 * 1024, RegionState::CpuOwned);
+    SystemMmu mmu = makeMmu(false);
+    Translation t1 = mmu.translate(1, 0);
+    EXPECT_EQ(t1.queueDepth, 0);
+    Translation t2 = mmu.translate(17, 0); // second region
+    EXPECT_EQ(t2.queueDepth, 1);
+    Translation t3 = mmu.translate(33, 0);
+    EXPECT_EQ(t3.queueDepth, 2);
+    EXPECT_EQ(mmu.pendingFaults(t3.detect), 3);
+    EXPECT_EQ(mmu.pendingFaults(t3.resolve + 1), 0);
+}
+
+TEST(VmPolicy, PresetsMatchExperiments)
+{
+    VmPolicy all = VmPolicy::allResident();
+    EXPECT_EQ(all.inputs, RegionState::GpuResident);
+    EXPECT_EQ(all.outputs, RegionState::GpuResident);
+
+    VmPolicy dp = VmPolicy::demandPaging();
+    EXPECT_EQ(dp.inputs, RegionState::CpuOwned);
+    EXPECT_EQ(dp.outputs, RegionState::Untouched);
+    EXPECT_FALSE(dp.localHandling);
+
+    VmPolicy of = VmPolicy::outputFaults(true);
+    EXPECT_EQ(of.inputs, RegionState::GpuResident);
+    EXPECT_EQ(of.outputs, RegionState::Untouched);
+    EXPECT_TRUE(of.localHandling);
+
+    VmPolicy hf = VmPolicy::heapFaults(false);
+    EXPECT_EQ(hf.heap, RegionState::Untouched);
+    EXPECT_EQ(hf.outputs, RegionState::GpuResident);
+}
+
+TEST(MemoryManager, ApplyPolicyByBufferKind)
+{
+    PageDirectory dir;
+    func::Kernel k;
+    k.buffers.push_back({"in", 0, 64 * 1024, func::BufferKind::Input});
+    k.buffers.push_back(
+        {"out", 128 * 1024, 64 * 1024, func::BufferKind::Output});
+    k.buffers.push_back(
+        {"heap", 256 * 1024, 64 * 1024, func::BufferKind::Heap});
+    applyPolicy(dir, k, VmPolicy::demandPaging());
+    EXPECT_EQ(dir.stateAt(0, 0), RegionState::CpuOwned);
+    EXPECT_EQ(dir.stateAt(128 * 1024, 0), RegionState::Untouched);
+    EXPECT_EQ(dir.stateAt(256 * 1024, 0), RegionState::Untouched);
+}
+
+TEST(AddressSpace, RegionAlignedAllocations)
+{
+    AddressSpace as(1 << 20);
+    Addr a = as.allocate(100);
+    Addr b = as.allocate(70000);
+    Addr c = as.allocate(8);
+    EXPECT_EQ(a % kDefaultMigrationBytes, 0u);
+    EXPECT_EQ(b, a + kDefaultMigrationBytes);
+    EXPECT_EQ(c, b + 2 * kDefaultMigrationBytes);
+}
+
+} // namespace
+} // namespace gex::vm

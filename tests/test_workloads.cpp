@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Workload tests: every registered workload builds, runs functionally,
+ * matches a host-computed reference where practical, and exhibits the
+ * characteristics its Parboil/Halloc namesake is modeled on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "func/functional_sim.hpp"
+#include "gpu/context_switch.hpp"
+#include "gpu/gpu.hpp"
+#include "workloads/workloads.hpp"
+
+namespace gex {
+namespace {
+
+TEST(WorkloadRegistry, AllNamesExistAndSuitesCovered)
+{
+    for (const auto &n : workloads::parboilSuite())
+        EXPECT_TRUE(workloads::exists(n)) << n;
+    for (const auto &n : workloads::hallocSuite())
+        EXPECT_TRUE(workloads::exists(n)) << n;
+    EXPECT_FALSE(workloads::exists("nope"));
+    EXPECT_EQ(workloads::allNames().size(),
+              workloads::parboilSuite().size() +
+                  workloads::hallocSuite().size());
+}
+
+TEST(WorkloadRegistry, UnknownNameIsFatal)
+{
+    func::GlobalMemory mem;
+    EXPECT_EXIT(workloads::make("nope", mem),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+/** Every workload traces successfully and has sane metadata. */
+class EveryWorkload : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EveryWorkload, BuildsTracesAndTimes)
+{
+    func::GlobalMemory mem;
+    auto w = workloads::make(GetParam(), mem, 1);
+    w.kernel.program.validate();
+    EXPECT_FALSE(w.kernel.buffers.empty());
+    EXPECT_GE(w.kernel.numBlocks(), 16u);
+
+    func::FunctionalSim fsim(mem);
+    trace::KernelTrace tr = fsim.run(w.kernel);
+    EXPECT_GT(tr.dynamicInsts(), 0u);
+    EXPECT_GT(tr.memInsts, 0u);
+    EXPECT_EQ(tr.blocks.size(), w.kernel.numBlocks());
+
+    gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+    gpu::Gpu g(cfg);
+    auto r = g.run(w.kernel, tr);
+    EXPECT_EQ(r.instructions, tr.dynamicInsts()) << GetParam();
+    EXPECT_GT(r.cycles, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, EveryWorkload,
+    ::testing::ValuesIn([] {
+        std::vector<std::string> names;
+        for (const auto &n : workloads::parboilSuite())
+            names.push_back(n);
+        for (const auto &n : workloads::hallocSuite())
+            names.push_back(n);
+        return names;
+    }()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST(WorkloadSgemm, MatchesHostReference)
+{
+    func::GlobalMemory mem;
+    auto w = workloads::make("sgemm", mem, 1);
+    const std::uint64_t dim = w.kernel.params[3];
+    Addr A = w.kernel.params[0], B = w.kernel.params[1],
+         C = w.kernel.params[2];
+
+    // Snapshot inputs before execution.
+    std::vector<double> a(dim * dim), b(dim * dim);
+    for (std::uint64_t i = 0; i < dim * dim; ++i) {
+        a[i] = mem.readF64(A + i * 8);
+        b[i] = mem.readF64(B + i * 8);
+    }
+    func::FunctionalSim fsim(mem);
+    fsim.run(w.kernel);
+
+    // Spot-check a handful of elements with identical fma ordering.
+    Rng rng(99);
+    for (int probe = 0; probe < 20; ++probe) {
+        std::uint64_t row = rng.below(dim), col = rng.below(dim);
+        double acc = 0.0;
+        for (std::uint64_t k = 0; k < dim; ++k)
+            acc = std::fma(a[row * dim + k], b[col * dim + k], acc);
+        double got = mem.readF64(C + (row * dim + col) * 64);
+        EXPECT_DOUBLE_EQ(got, acc) << "C[" << row << "," << col << "]";
+    }
+}
+
+TEST(WorkloadSad, MatchesHostReference)
+{
+    func::GlobalMemory mem;
+    auto w = workloads::make("sad", mem, 1);
+    Addr cur = w.kernel.params[0], ref = w.kernel.params[1],
+         out = w.kernel.params[2];
+    std::uint64_t threads =
+        static_cast<std::uint64_t>(w.kernel.numBlocks()) * 128;
+
+    std::vector<std::uint64_t> c(threads * 16), r(threads * 16);
+    for (std::uint64_t i = 0; i < threads * 16; ++i) {
+        c[i] = mem.read64(cur + i * 8);
+        r[i] = mem.read64(ref + i * 8);
+    }
+    func::FunctionalSim fsim(mem);
+    fsim.run(w.kernel);
+
+    Rng rng(7);
+    for (int probe = 0; probe < 20; ++probe) {
+        std::uint64_t t = rng.below(threads);
+        std::int64_t acc = 0;
+        for (int k = 0; k < 16; ++k) {
+            auto x = static_cast<std::int64_t>(c[t + threads * k]);
+            auto y = static_cast<std::int64_t>(r[t + threads * k]);
+            acc += std::abs(x - y);
+        }
+        EXPECT_EQ(mem.read64(out + t * 64),
+                  static_cast<std::uint64_t>(acc));
+    }
+}
+
+TEST(WorkloadHisto, BinCountsSumToSamples)
+{
+    func::GlobalMemory mem;
+    auto w = workloads::make("histo", mem, 1);
+    Addr bins = w.kernel.params[1];
+    func::FunctionalSim fsim(mem);
+    fsim.run(w.kernel);
+    std::uint64_t total = 0;
+    for (int i = 0; i < 1024; ++i)
+        total += mem.read64(bins + static_cast<Addr>(i) * 8);
+    std::uint64_t threads =
+        static_cast<std::uint64_t>(w.kernel.numBlocks()) * 256;
+    EXPECT_EQ(total, threads * 8);
+}
+
+TEST(WorkloadTpacf, HistogramSumMatchesPairs)
+{
+    func::GlobalMemory mem;
+    auto w = workloads::make("tpacf", mem, 1);
+    Addr hist = w.kernel.params[2];
+    func::FunctionalSim fsim(mem);
+    fsim.run(w.kernel);
+    std::uint64_t total = 0;
+    for (int i = 0; i < 64; ++i)
+        total += mem.read64(hist + static_cast<Addr>(i) * 8);
+    std::uint64_t threads =
+        static_cast<std::uint64_t>(w.kernel.numBlocks()) * 128;
+    // Intra-warp histogram races lose some updates (as on real
+    // hardware without atomics); the total is bounded by pair count
+    // and must be substantial.
+    EXPECT_LE(total, threads * 40);
+    EXPECT_GT(total, threads * 40 / 4);
+}
+
+TEST(WorkloadLbm, LowOccupancyByDesign)
+{
+    func::GlobalMemory mem;
+    auto w = workloads::make("lbm", mem, 1);
+    EXPECT_EQ(w.kernel.program.regsPerThread(), 128);
+    EXPECT_EQ(gpu::blocksPerSm(gpu::GpuConfig::baseline(), w.kernel), 1);
+}
+
+TEST(WorkloadSgemm, UsesSharedMemoryTiles)
+{
+    func::GlobalMemory mem;
+    auto w = workloads::make("sgemm", mem, 1);
+    EXPECT_EQ(w.kernel.program.sharedBytes(), 4096u);
+}
+
+TEST(WorkloadMriGridding, BlockImbalanceTwoOrders)
+{
+    func::GlobalMemory mem;
+    auto w = workloads::make("mri-gridding", mem, 1);
+    func::FunctionalSim fsim(mem);
+    trace::KernelTrace tr = fsim.run(w.kernel);
+    std::uint64_t min_insts = UINT64_MAX, max_insts = 0;
+    for (const auto &blk : tr.blocks) {
+        std::uint64_t n = blk.dynamicInsts();
+        min_insts = std::min(min_insts, n);
+        max_insts = std::max(max_insts, n);
+    }
+    // Paper section 5.3: two orders of magnitude difference in block
+    // execution time; dynamic instruction counts reflect it.
+    EXPECT_GT(max_insts, min_insts * 20);
+}
+
+TEST(WorkloadHalloc, AllocationsLandInHeapBuffer)
+{
+    func::GlobalMemory mem;
+    auto w = workloads::make("ha-grid", mem, 1);
+    Addr heap_base = 0;
+    std::uint64_t heap_bytes = 0;
+    for (const auto &buf : w.kernel.buffers)
+        if (buf.kind == func::BufferKind::Heap) {
+            heap_base = buf.base;
+            heap_bytes = buf.bytes;
+        }
+    ASSERT_GT(heap_bytes, 0u);
+    func::FunctionalSim fsim(mem);
+    fsim.run(w.kernel);
+    Addr cells = w.kernel.params[0];
+    std::uint64_t threads =
+        static_cast<std::uint64_t>(w.kernel.numBlocks()) * 128;
+    for (std::uint64_t t = 0; t < threads; t += 97) {
+        std::uint64_t p = mem.read64(cells + t * 8);
+        EXPECT_GE(p, heap_base);
+        EXPECT_LT(p, heap_base + heap_bytes);
+    }
+}
+
+TEST(WorkloadScaling, ScaleGrowsTheGrid)
+{
+    func::GlobalMemory m1, m2;
+    auto w1 = workloads::make("sad", m1, 1);
+    auto w2 = workloads::make("sad", m2, 2);
+    EXPECT_GT(w2.kernel.numBlocks(), w1.kernel.numBlocks());
+}
+
+} // namespace
+} // namespace gex

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * gexsim-asm: assemble, inspect and run .kasm kernel files.
+ *
+ *   gexsim-asm kernel.kasm                    # assemble + disassemble
+ *   gexsim-asm kernel.kasm --run [options]    # run on the simulator
+ *
+ * When running, buffers are synthesized automatically: each kernel
+ * parameter becomes the base of a --buffer-kb sized buffer filled with
+ * a deterministic pattern, passed in parameter order.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "gex.hpp"
+
+using namespace gex;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: gexsim-asm FILE.kasm [--run] [--blocks N] "
+                     "[--threads N] [--buffer-kb N] [--scheme S] "
+                     "[--stats]\n");
+        return 1;
+    }
+    std::string path = argv[1];
+    bool run = false, dump_stats = false;
+    std::uint32_t blocks = 16, threads = 128;
+    std::uint64_t buffer_kb = 256;
+    std::string scheme = "baseline";
+    for (int i = 2; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("flag %s needs a value", a.c_str());
+            return argv[++i];
+        };
+        if (a == "--run") run = true;
+        else if (a == "--blocks")
+            blocks = static_cast<std::uint32_t>(std::atoi(next().c_str()));
+        else if (a == "--threads")
+            threads = static_cast<std::uint32_t>(std::atoi(next().c_str()));
+        else if (a == "--buffer-kb")
+            buffer_kb = static_cast<std::uint64_t>(
+                std::atoll(next().c_str()));
+        else if (a == "--scheme") scheme = next();
+        else if (a == "--stats") dump_stats = true;
+        else fatal("unknown flag '%s'", a.c_str());
+    }
+
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+
+    isa::Program prog = kasm::assemble(ss.str());
+    std::printf("%s", prog.disassemble().c_str());
+    if (!run)
+        return 0;
+
+    func::GlobalMemory mem;
+    vm::AddressSpace as;
+    func::Kernel k;
+    k.program = prog;
+    k.grid = {blocks, 1, 1};
+    k.block = {threads, 1, 1};
+    Rng rng(7);
+    for (int p = 0; p < prog.numParams(); ++p) {
+        Addr base = as.allocate(buffer_kb * 1024);
+        k.params.push_back(base);
+        k.buffers.push_back({"param" + std::to_string(p), base,
+                             buffer_kb * 1024,
+                             p == 0 ? func::BufferKind::Input
+                                    : func::BufferKind::InOut});
+        for (std::uint64_t i = 0; i < buffer_kb * 128; ++i)
+            mem.write64(base + i * 8, rng.below(1 << 16));
+    }
+
+    func::FunctionalSim fsim(mem);
+    trace::KernelTrace tr = fsim.run(k);
+
+    gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+    if (scheme == "wd-commit") cfg.scheme = gpu::Scheme::WarpDisableCommit;
+    else if (scheme == "wd-lastcheck")
+        cfg.scheme = gpu::Scheme::WarpDisableLastCheck;
+    else if (scheme == "replay-queue") cfg.scheme = gpu::Scheme::ReplayQueue;
+    else if (scheme == "operand-log") cfg.scheme = gpu::Scheme::OperandLog;
+    else if (scheme != "baseline") fatal("unknown scheme '%s'",
+                                         scheme.c_str());
+    gpu::Gpu g(cfg);
+    auto r = g.run(k, tr);
+    std::printf("\n%u blocks x %u threads under %s: %llu cycles, ipc "
+                "%.2f\n",
+                blocks, threads, gpu::schemeName(cfg.scheme),
+                static_cast<unsigned long long>(r.cycles), r.ipc());
+    if (dump_stats)
+        r.stats.dump(std::cout, "  ");
+    return 0;
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * gexsim-run: command-line driver for the simulator. Runs a built-in
+ * workload (or a .kasm file via gexsim-asm) under a chosen exception
+ * scheme, paging policy and machine configuration, and prints the
+ * cycle count and statistics.
+ *
+ *   gexsim-run --workload sgemm --scheme replay-queue \
+ *              --policy demand-paging --link pcie --block-switching \
+ *              --stats
+ *
+ * Run with --help for the full flag list.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "gex.hpp"
+
+using namespace gex;
+
+namespace {
+
+struct Options {
+    std::string workload = "sgemm";
+    int scale = 1;
+    std::string scheme = "baseline";
+    std::string policy = "resident";
+    std::string link = "nvlink";
+    int sms = 16;
+    std::uint32_t logKb = 16;
+    bool blockSwitching = false;
+    bool idealSwitch = false;
+    bool arithExceptions = false;
+    bool dumpStats = false;
+    bool dumpCsv = false;
+    bool listWorkloads = false;
+};
+
+void
+usage()
+{
+    std::printf(
+        "gexsim-run: GPU timing simulation driver\n\n"
+        "  --workload NAME     built-in workload (see --list)\n"
+        "  --scale N           workload scale factor (default 1)\n"
+        "  --scheme S          baseline | wd-commit | wd-lastcheck |\n"
+        "                      replay-queue | operand-log\n"
+        "  --log-kb N          operand log size in KB (default 16)\n"
+        "  --policy P          resident | demand-paging |\n"
+        "                      output-faults[-local] | heap-faults[-local]\n"
+        "  --link L            nvlink | pcie\n"
+        "  --sms N             number of SMs (default 16)\n"
+        "  --block-switching   enable UC1 block switching\n"
+        "  --ideal-switch      1-cycle context save/restore\n"
+        "  --arith-exceptions  enable the arithmetic-exception extension\n"
+        "  --stats             dump all statistics\n"
+        "  --csv               dump statistics as CSV\n"
+        "  --list              list built-in workloads\n");
+}
+
+gpu::Scheme
+parseScheme(const std::string &s)
+{
+    if (s == "baseline") return gpu::Scheme::StallOnFault;
+    if (s == "wd-commit") return gpu::Scheme::WarpDisableCommit;
+    if (s == "wd-lastcheck") return gpu::Scheme::WarpDisableLastCheck;
+    if (s == "replay-queue") return gpu::Scheme::ReplayQueue;
+    if (s == "operand-log") return gpu::Scheme::OperandLog;
+    fatal("unknown scheme '%s'", s.c_str());
+}
+
+vm::VmPolicy
+parsePolicy(const std::string &p)
+{
+    if (p == "resident") return vm::VmPolicy::allResident();
+    if (p == "demand-paging") return vm::VmPolicy::demandPaging();
+    if (p == "output-faults") return vm::VmPolicy::outputFaults(false);
+    if (p == "output-faults-local") return vm::VmPolicy::outputFaults(true);
+    if (p == "heap-faults") return vm::VmPolicy::heapFaults(false);
+    if (p == "heap-faults-local") return vm::VmPolicy::heapFaults(true);
+    fatal("unknown policy '%s'", p.c_str());
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("flag %s needs a value", a.c_str());
+            return argv[++i];
+        };
+        if (a == "--workload") o.workload = next();
+        else if (a == "--scale") o.scale = std::atoi(next().c_str());
+        else if (a == "--scheme") o.scheme = next();
+        else if (a == "--log-kb")
+            o.logKb = static_cast<std::uint32_t>(std::atoi(next().c_str()));
+        else if (a == "--policy") o.policy = next();
+        else if (a == "--link") o.link = next();
+        else if (a == "--sms") o.sms = std::atoi(next().c_str());
+        else if (a == "--block-switching") o.blockSwitching = true;
+        else if (a == "--ideal-switch") o.idealSwitch = true;
+        else if (a == "--arith-exceptions") o.arithExceptions = true;
+        else if (a == "--stats") o.dumpStats = true;
+        else if (a == "--csv") o.dumpCsv = true;
+        else if (a == "--list") o.listWorkloads = true;
+        else if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            usage();
+            fatal("unknown flag '%s'", a.c_str());
+        }
+    }
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parseArgs(argc, argv);
+    if (o.listWorkloads) {
+        for (const auto &n : workloads::allNames())
+            std::printf("%s\n", n.c_str());
+        return 0;
+    }
+    if (!workloads::exists(o.workload))
+        fatal("unknown workload '%s' (try --list)", o.workload.c_str());
+
+    func::GlobalMemory mem;
+    auto w = workloads::make(o.workload, mem, o.scale);
+    func::FunctionalSim fsim(mem);
+    trace::KernelTrace tr = fsim.run(w.kernel);
+
+    gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+    cfg.scheme = parseScheme(o.scheme);
+    cfg.operandLogBytes = o.logKb * 1024;
+    cfg.numSms = o.sms;
+    cfg.hostLink = o.link == "pcie" ? vm::HostLinkConfig::pcie()
+                                    : vm::HostLinkConfig::nvlink();
+    cfg.blockSwitching = o.blockSwitching;
+    cfg.idealContextSwitch = o.idealSwitch;
+    cfg.arithExceptions = o.arithExceptions;
+
+    gpu::Gpu g(cfg);
+    auto r = g.run(w.kernel, tr, parsePolicy(o.policy));
+
+    std::printf("workload      %s (scale %d)\n", o.workload.c_str(),
+                o.scale);
+    std::printf("blocks        %u (%d resident per SM)\n",
+                w.kernel.numBlocks(), gpu::blocksPerSm(cfg, w.kernel));
+    std::printf("scheme        %s\n", gpu::schemeName(cfg.scheme));
+    std::printf("policy        %s over %s\n", o.policy.c_str(),
+                cfg.hostLink.name.c_str());
+    std::printf("cycles        %llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("instructions  %llu\n",
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("ipc           %.3f\n", r.ipc());
+    std::printf("faults        %.0f (%.0f joined)\n",
+                r.stats.get("mmu.faults"),
+                r.stats.get("mmu.joined_faults"));
+    if (o.dumpStats) {
+        std::printf("\n");
+        r.stats.dump(std::cout, "  ");
+    }
+    if (o.dumpCsv) {
+        std::printf("\n");
+        r.stats.dumpCsv(std::cout);
+    }
+    return 0;
+}
