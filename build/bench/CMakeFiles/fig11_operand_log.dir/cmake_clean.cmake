@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_operand_log.dir/fig11_operand_log.cpp.o"
+  "CMakeFiles/fig11_operand_log.dir/fig11_operand_log.cpp.o.d"
+  "fig11_operand_log"
+  "fig11_operand_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_operand_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

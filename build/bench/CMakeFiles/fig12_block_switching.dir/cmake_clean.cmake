@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_block_switching.dir/fig12_block_switching.cpp.o"
+  "CMakeFiles/fig12_block_switching.dir/fig12_block_switching.cpp.o.d"
+  "fig12_block_switching"
+  "fig12_block_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_block_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

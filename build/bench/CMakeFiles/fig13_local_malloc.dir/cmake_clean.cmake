@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_local_malloc.dir/fig13_local_malloc.cpp.o"
+  "CMakeFiles/fig13_local_malloc.dir/fig13_local_malloc.cpp.o.d"
+  "fig13_local_malloc"
+  "fig13_local_malloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_local_malloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

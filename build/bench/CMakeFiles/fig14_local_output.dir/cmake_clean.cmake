@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_local_output.dir/fig14_local_output.cpp.o"
+  "CMakeFiles/fig14_local_output.dir/fig14_local_output.cpp.o.d"
+  "fig14_local_output"
+  "fig14_local_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_local_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_sms.dir/scal_sms.cpp.o"
+  "CMakeFiles/scal_sms.dir/scal_sms.cpp.o.d"
+  "scal_sms"
+  "scal_sms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_sms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

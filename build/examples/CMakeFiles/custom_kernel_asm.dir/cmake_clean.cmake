@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_kernel_asm.dir/custom_kernel_asm.cpp.o"
+  "CMakeFiles/custom_kernel_asm.dir/custom_kernel_asm.cpp.o.d"
+  "custom_kernel_asm"
+  "custom_kernel_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_kernel_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/demand_paging.dir/demand_paging.cpp.o"
+  "CMakeFiles/demand_paging.dir/demand_paging.cpp.o.d"
+  "demand_paging"
+  "demand_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/demand_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_malloc.dir/device_malloc.cpp.o"
+  "CMakeFiles/device_malloc.dir/device_malloc.cpp.o.d"
+  "device_malloc"
+  "device_malloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_malloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

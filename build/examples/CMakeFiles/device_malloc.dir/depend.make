@@ -1,0 +1,2 @@
+# Empty dependencies file for device_malloc.
+# This may be replaced when dependencies are built.

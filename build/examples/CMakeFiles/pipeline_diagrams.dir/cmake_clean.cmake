@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_diagrams.dir/pipeline_diagrams.cpp.o"
+  "CMakeFiles/pipeline_diagrams.dir/pipeline_diagrams.cpp.o.d"
+  "pipeline_diagrams"
+  "pipeline_diagrams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_diagrams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/gex.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/gex.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/gex.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/gex.dir/common/stats.cpp.o.d"
+  "/root/repo/src/func/functional_sim.cpp" "src/CMakeFiles/gex.dir/func/functional_sim.cpp.o" "gcc" "src/CMakeFiles/gex.dir/func/functional_sim.cpp.o.d"
+  "/root/repo/src/func/memory.cpp" "src/CMakeFiles/gex.dir/func/memory.cpp.o" "gcc" "src/CMakeFiles/gex.dir/func/memory.cpp.o.d"
+  "/root/repo/src/func/simt_stack.cpp" "src/CMakeFiles/gex.dir/func/simt_stack.cpp.o" "gcc" "src/CMakeFiles/gex.dir/func/simt_stack.cpp.o.d"
+  "/root/repo/src/gpu/config.cpp" "src/CMakeFiles/gex.dir/gpu/config.cpp.o" "gcc" "src/CMakeFiles/gex.dir/gpu/config.cpp.o.d"
+  "/root/repo/src/gpu/context_switch.cpp" "src/CMakeFiles/gex.dir/gpu/context_switch.cpp.o" "gcc" "src/CMakeFiles/gex.dir/gpu/context_switch.cpp.o.d"
+  "/root/repo/src/gpu/gpu.cpp" "src/CMakeFiles/gex.dir/gpu/gpu.cpp.o" "gcc" "src/CMakeFiles/gex.dir/gpu/gpu.cpp.o.d"
+  "/root/repo/src/gpu/local_scheduler.cpp" "src/CMakeFiles/gex.dir/gpu/local_scheduler.cpp.o" "gcc" "src/CMakeFiles/gex.dir/gpu/local_scheduler.cpp.o.d"
+  "/root/repo/src/isa/instruction.cpp" "src/CMakeFiles/gex.dir/isa/instruction.cpp.o" "gcc" "src/CMakeFiles/gex.dir/isa/instruction.cpp.o.d"
+  "/root/repo/src/isa/opcodes.cpp" "src/CMakeFiles/gex.dir/isa/opcodes.cpp.o" "gcc" "src/CMakeFiles/gex.dir/isa/opcodes.cpp.o.d"
+  "/root/repo/src/isa/program.cpp" "src/CMakeFiles/gex.dir/isa/program.cpp.o" "gcc" "src/CMakeFiles/gex.dir/isa/program.cpp.o.d"
+  "/root/repo/src/kasm/builder.cpp" "src/CMakeFiles/gex.dir/kasm/builder.cpp.o" "gcc" "src/CMakeFiles/gex.dir/kasm/builder.cpp.o.d"
+  "/root/repo/src/kasm/lexer.cpp" "src/CMakeFiles/gex.dir/kasm/lexer.cpp.o" "gcc" "src/CMakeFiles/gex.dir/kasm/lexer.cpp.o.d"
+  "/root/repo/src/kasm/parser.cpp" "src/CMakeFiles/gex.dir/kasm/parser.cpp.o" "gcc" "src/CMakeFiles/gex.dir/kasm/parser.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/gex.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/gex.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/power/overheads.cpp" "src/CMakeFiles/gex.dir/power/overheads.cpp.o" "gcc" "src/CMakeFiles/gex.dir/power/overheads.cpp.o.d"
+  "/root/repo/src/sm/coalescer.cpp" "src/CMakeFiles/gex.dir/sm/coalescer.cpp.o" "gcc" "src/CMakeFiles/gex.dir/sm/coalescer.cpp.o.d"
+  "/root/repo/src/sm/exception_model.cpp" "src/CMakeFiles/gex.dir/sm/exception_model.cpp.o" "gcc" "src/CMakeFiles/gex.dir/sm/exception_model.cpp.o.d"
+  "/root/repo/src/sm/lsu.cpp" "src/CMakeFiles/gex.dir/sm/lsu.cpp.o" "gcc" "src/CMakeFiles/gex.dir/sm/lsu.cpp.o.d"
+  "/root/repo/src/sm/scoreboard.cpp" "src/CMakeFiles/gex.dir/sm/scoreboard.cpp.o" "gcc" "src/CMakeFiles/gex.dir/sm/scoreboard.cpp.o.d"
+  "/root/repo/src/sm/sm.cpp" "src/CMakeFiles/gex.dir/sm/sm.cpp.o" "gcc" "src/CMakeFiles/gex.dir/sm/sm.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/gex.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/gex.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/vm/fill_unit.cpp" "src/CMakeFiles/gex.dir/vm/fill_unit.cpp.o" "gcc" "src/CMakeFiles/gex.dir/vm/fill_unit.cpp.o.d"
+  "/root/repo/src/vm/host_link.cpp" "src/CMakeFiles/gex.dir/vm/host_link.cpp.o" "gcc" "src/CMakeFiles/gex.dir/vm/host_link.cpp.o.d"
+  "/root/repo/src/vm/memory_manager.cpp" "src/CMakeFiles/gex.dir/vm/memory_manager.cpp.o" "gcc" "src/CMakeFiles/gex.dir/vm/memory_manager.cpp.o.d"
+  "/root/repo/src/vm/page_table.cpp" "src/CMakeFiles/gex.dir/vm/page_table.cpp.o" "gcc" "src/CMakeFiles/gex.dir/vm/page_table.cpp.o.d"
+  "/root/repo/src/vm/tlb.cpp" "src/CMakeFiles/gex.dir/vm/tlb.cpp.o" "gcc" "src/CMakeFiles/gex.dir/vm/tlb.cpp.o.d"
+  "/root/repo/src/workloads/halloc.cpp" "src/CMakeFiles/gex.dir/workloads/halloc.cpp.o" "gcc" "src/CMakeFiles/gex.dir/workloads/halloc.cpp.o.d"
+  "/root/repo/src/workloads/parboil.cpp" "src/CMakeFiles/gex.dir/workloads/parboil.cpp.o" "gcc" "src/CMakeFiles/gex.dir/workloads/parboil.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/gex.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/gex.dir/workloads/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arith_exceptions.cpp" "tests/CMakeFiles/gex_tests.dir/test_arith_exceptions.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_arith_exceptions.cpp.o.d"
+  "/root/repo/tests/test_block_switching.cpp" "tests/CMakeFiles/gex_tests.dir/test_block_switching.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_block_switching.cpp.o.d"
+  "/root/repo/tests/test_cache_properties.cpp" "tests/CMakeFiles/gex_tests.dir/test_cache_properties.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_cache_properties.cpp.o.d"
+  "/root/repo/tests/test_coalescer.cpp" "tests/CMakeFiles/gex_tests.dir/test_coalescer.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_coalescer.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/gex_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_config_knobs.cpp" "tests/CMakeFiles/gex_tests.dir/test_config_knobs.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_config_knobs.cpp.o.d"
+  "/root/repo/tests/test_exception_model.cpp" "tests/CMakeFiles/gex_tests.dir/test_exception_model.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_exception_model.cpp.o.d"
+  "/root/repo/tests/test_faults.cpp" "tests/CMakeFiles/gex_tests.dir/test_faults.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_faults.cpp.o.d"
+  "/root/repo/tests/test_functional.cpp" "tests/CMakeFiles/gex_tests.dir/test_functional.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_functional.cpp.o.d"
+  "/root/repo/tests/test_functional_edge.cpp" "tests/CMakeFiles/gex_tests.dir/test_functional_edge.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_functional_edge.cpp.o.d"
+  "/root/repo/tests/test_gpu_top.cpp" "tests/CMakeFiles/gex_tests.dir/test_gpu_top.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_gpu_top.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/gex_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_kasm.cpp" "tests/CMakeFiles/gex_tests.dir/test_kasm.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_kasm.cpp.o.d"
+  "/root/repo/tests/test_local_handling.cpp" "tests/CMakeFiles/gex_tests.dir/test_local_handling.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_local_handling.cpp.o.d"
+  "/root/repo/tests/test_lsu.cpp" "tests/CMakeFiles/gex_tests.dir/test_lsu.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_lsu.cpp.o.d"
+  "/root/repo/tests/test_mem.cpp" "tests/CMakeFiles/gex_tests.dir/test_mem.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_mem.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/gex_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/gex_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_queueing.cpp" "tests/CMakeFiles/gex_tests.dir/test_queueing.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_queueing.cpp.o.d"
+  "/root/repo/tests/test_schemes.cpp" "tests/CMakeFiles/gex_tests.dir/test_schemes.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_schemes.cpp.o.d"
+  "/root/repo/tests/test_scoreboard.cpp" "tests/CMakeFiles/gex_tests.dir/test_scoreboard.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_scoreboard.cpp.o.d"
+  "/root/repo/tests/test_simt_stack.cpp" "tests/CMakeFiles/gex_tests.dir/test_simt_stack.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_simt_stack.cpp.o.d"
+  "/root/repo/tests/test_timing_sm.cpp" "tests/CMakeFiles/gex_tests.dir/test_timing_sm.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_timing_sm.cpp.o.d"
+  "/root/repo/tests/test_tlb.cpp" "tests/CMakeFiles/gex_tests.dir/test_tlb.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_tlb.cpp.o.d"
+  "/root/repo/tests/test_vm.cpp" "tests/CMakeFiles/gex_tests.dir/test_vm.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_vm.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/gex_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/gex_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gexsim-asm.dir/gexsim_asm.cpp.o"
+  "CMakeFiles/gexsim-asm.dir/gexsim_asm.cpp.o.d"
+  "gexsim-asm"
+  "gexsim-asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gexsim-asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

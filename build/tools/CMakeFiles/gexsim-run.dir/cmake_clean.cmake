@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gexsim-run.dir/gexsim_run.cpp.o"
+  "CMakeFiles/gexsim-run.dir/gexsim_run.cpp.o.d"
+  "gexsim-run"
+  "gexsim-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gexsim-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
