@@ -10,114 +10,180 @@
  *     (drives the wd-lastcheck / replay-queue costs);
  *  5. GPU-allocator serialization in the UC2 handler (the paper's
  *     lock-free design vs a serialized allocator).
+ *
+ * All five grids are queued into one parallel sweep: --jobs N spreads
+ * the runs over N worker threads (bit-identical results at any N),
+ * --json FILE exports every run's stats (schema: docs/METRICS.md).
  */
 
 #include "bench_util.hpp"
 
 using namespace gex;
 
-int
-main()
+namespace {
+
+/** Indexed handles into the one shared sweep. */
+struct Grid {
+    std::vector<std::size_t> idx;
+    std::vector<long long> knobs;
+};
+
+double
+speedup(const harness::RunRecord &r)
 {
+    return r.derived.at("normalized");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::SweepOptions opt = bench::parseSweepArgs(argc, argv, "ablation");
+    harness::SweepEngine eng(opt.jobs);
+
     // --- 1 & 2: UC1 scheduler knobs on an oversubscribed workload ---
+    gpu::GpuConfig rq = gpu::GpuConfig::baseline();
+    rq.scheme = gpu::Scheme::ReplayQueue;
+
     {
-        bench::TracedWorkload tw = bench::buildTraced("sgemm", 3);
-        gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
-        cfg.scheme = gpu::Scheme::ReplayQueue;
-        double base = static_cast<double>(
-            bench::runConfig(tw, cfg, vm::VmPolicy::demandPaging())
-                .cycles);
-
-        std::printf("=== UC1 ablation: switch queue-depth threshold "
-                    "(sgemm, NVLink) ===\n");
-        std::printf("%10s %12s %12s\n", "threshold", "speedup",
-                    "switch-outs");
-        for (int th : {0, 1, 2, 4, 8, 32}) {
-            gpu::GpuConfig c = cfg;
-            c.blockSwitching = true;
-            c.switchQueueThreshold = th;
-            auto r = bench::runConfig(tw, c, vm::VmPolicy::demandPaging());
-            std::printf("%10d %12.3f %12.0f\n", th,
-                        base / static_cast<double>(r.cycles),
-                        r.stats.get("sm.switch_outs"));
-            std::fflush(stdout);
-        }
-
-        std::printf("\n=== UC1 ablation: extra off-chip block budget "
-                    "===\n");
-        std::printf("%10s %12s %12s\n", "budget", "speedup",
-                    "switch-outs");
-        for (int extra : {0, 1, 2, 4, 8}) {
-            gpu::GpuConfig c = cfg;
-            c.blockSwitching = true;
-            c.maxExtraBlocks = extra;
-            auto r = bench::runConfig(tw, c, vm::VmPolicy::demandPaging());
-            std::printf("%10d %12.3f %12.0f\n", extra,
-                        base / static_cast<double>(r.cycles),
-                        r.stats.get("sm.switch_outs"));
-            std::fflush(stdout);
-        }
+        harness::RunSpec base;
+        base.workload = "sgemm";
+        base.scale = 3;
+        base.cfg = rq;
+        base.policy = vm::VmPolicy::demandPaging();
+        base.group = "uc1";
+        base.series = "no-switching";
+        eng.add(base);
+    }
+    Grid thresholds, budgets;
+    thresholds.knobs = {0, 1, 2, 4, 8, 32};
+    for (long long th : thresholds.knobs) {
+        harness::RunSpec rs;
+        rs.workload = "sgemm";
+        rs.scale = 3;
+        rs.cfg = rq;
+        rs.cfg.blockSwitching = true;
+        rs.cfg.switchQueueThreshold = static_cast<int>(th);
+        rs.policy = vm::VmPolicy::demandPaging();
+        rs.group = "uc1";
+        rs.series = "threshold-" + std::to_string(th);
+        thresholds.idx.push_back(eng.add(std::move(rs)));
+    }
+    budgets.knobs = {0, 1, 2, 4, 8};
+    for (long long extra : budgets.knobs) {
+        harness::RunSpec rs;
+        rs.workload = "sgemm";
+        rs.scale = 3;
+        rs.cfg = rq;
+        rs.cfg.blockSwitching = true;
+        rs.cfg.maxExtraBlocks = static_cast<int>(extra);
+        rs.policy = vm::VmPolicy::demandPaging();
+        rs.group = "uc1";
+        rs.series = "budget-" + std::to_string(extra);
+        budgets.idx.push_back(eng.add(std::move(rs)));
     }
 
     // --- 3 & 5: UC2 handler latency and allocator serialization -----
     {
-        bench::TracedWorkload tw = bench::buildTraced("ha-prob");
-        gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
-        cfg.scheme = gpu::Scheme::ReplayQueue;
-        double cpu = static_cast<double>(
-            bench::runConfig(tw, cfg, vm::VmPolicy::heapFaults(false))
-                .cycles);
-
-        std::printf("\n=== UC2 ablation: GPU handler latency (ha-prob, "
-                    "speedup over CPU handling) ===\n");
-        std::printf("%12s %12s\n", "handler us", "speedup");
-        for (Cycle us : {5, 10, 20, 40, 80}) {
-            gpu::GpuConfig c = cfg;
-            c.gpuHandler.handlerCycles = us * 1000;
-            auto r = bench::runConfig(tw, c, vm::VmPolicy::heapFaults(true));
-            std::printf("%12llu %12.3f\n",
-                        static_cast<unsigned long long>(us),
-                        cpu / static_cast<double>(r.cycles));
-            std::fflush(stdout);
-        }
-
-        std::printf("\n=== UC2 ablation: allocator serialization "
-                    "(paper: lock-free => 0) ===\n");
-        std::printf("%14s %12s\n", "serial cycles", "speedup");
-        for (Cycle ser : {0, 500, 2000, 8000}) {
-            gpu::GpuConfig c = cfg;
-            c.gpuHandler.allocatorSerialCycles = ser;
-            auto r = bench::runConfig(tw, c, vm::VmPolicy::heapFaults(true));
-            std::printf("%14llu %12.3f\n",
-                        static_cast<unsigned long long>(ser),
-                        cpu / static_cast<double>(r.cycles));
-            std::fflush(stdout);
-        }
+        harness::RunSpec cpu;
+        cpu.workload = "ha-prob";
+        cpu.cfg = rq;
+        cpu.policy = vm::VmPolicy::heapFaults(false);
+        cpu.group = "uc2";
+        cpu.series = "cpu-handling";
+        eng.add(std::move(cpu));
+    }
+    Grid latencies, serials;
+    latencies.knobs = {5, 10, 20, 40, 80};
+    for (long long us : latencies.knobs) {
+        harness::RunSpec rs;
+        rs.workload = "ha-prob";
+        rs.cfg = rq;
+        rs.cfg.gpuHandler.handlerCycles = static_cast<Cycle>(us) * 1000;
+        rs.policy = vm::VmPolicy::heapFaults(true);
+        rs.group = "uc2";
+        rs.series = "handler-" + std::to_string(us) + "us";
+        latencies.idx.push_back(eng.add(std::move(rs)));
+    }
+    serials.knobs = {0, 500, 2000, 8000};
+    for (long long ser : serials.knobs) {
+        harness::RunSpec rs;
+        rs.workload = "ha-prob";
+        rs.cfg = rq;
+        rs.cfg.gpuHandler.allocatorSerialCycles = static_cast<Cycle>(ser);
+        rs.policy = vm::VmPolicy::heapFaults(true);
+        rs.group = "uc2";
+        rs.series = "serial-" + std::to_string(ser);
+        serials.idx.push_back(eng.add(std::move(rs)));
     }
 
     // --- 4: memory front-end depth vs scheme costs ------------------
-    {
-        bench::TracedWorkload tw = bench::buildTraced("lbm");
-        std::printf("\n=== Pipeline ablation: memory front-end depth "
-                    "(lbm, relative to stall-on-fault) ===\n");
-        std::printf("%10s %12s %12s\n", "frontend", "wd-lastchk",
-                    "replay-q");
-        for (Cycle fe : {4, 8, 16, 32, 64}) {
-            gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
-            cfg.sm.memFrontendCycles = fe;
-            double base =
-                static_cast<double>(bench::runConfig(tw, cfg).cycles);
-            cfg.scheme = gpu::Scheme::WarpDisableLastCheck;
-            double wdl =
-                static_cast<double>(bench::runConfig(tw, cfg).cycles);
-            cfg.scheme = gpu::Scheme::ReplayQueue;
-            double rq =
-                static_cast<double>(bench::runConfig(tw, cfg).cycles);
-            std::printf("%10llu %12.3f %12.3f\n",
-                        static_cast<unsigned long long>(fe), base / wdl,
-                        base / rq);
-            std::fflush(stdout);
-        }
+    const long long frontends[] = {4, 8, 16, 32, 64};
+    Grid feWdl, feRq;
+    for (long long fe : frontends) {
+        const std::string group = "frontend-" + std::to_string(fe);
+        harness::RunSpec base;
+        base.workload = "lbm";
+        base.cfg = gpu::GpuConfig::baseline();
+        base.cfg.sm.memFrontendCycles = static_cast<Cycle>(fe);
+        base.group = group;
+        base.series = "baseline";
+        eng.add(base);
+
+        harness::RunSpec wdl = base;
+        wdl.cfg.scheme = gpu::Scheme::WarpDisableLastCheck;
+        wdl.series = "wd-lastcheck";
+        feWdl.idx.push_back(eng.add(std::move(wdl)));
+
+        harness::RunSpec rqs = base;
+        rqs.cfg.scheme = gpu::Scheme::ReplayQueue;
+        rqs.series = "replay-queue";
+        feRq.idx.push_back(eng.add(std::move(rqs)));
     }
+
+    std::vector<harness::RunRecord> runs = bench::runAndReport(
+        eng, opt, "ablation",
+        {"no-switching", "cpu-handling", "baseline"});
+
+    // --- print the paper-style tables -------------------------------
+    std::printf("=== UC1 ablation: switch queue-depth threshold "
+                "(sgemm, NVLink) ===\n");
+    std::printf("%10s %12s %12s\n", "threshold", "speedup", "switch-outs");
+    for (std::size_t i = 0; i < thresholds.idx.size(); ++i) {
+        const auto &r = runs[thresholds.idx[i]];
+        std::printf("%10lld %12.3f %12.0f\n", thresholds.knobs[i],
+                    speedup(r), r.result.stats.get("sm.switch_outs"));
+    }
+
+    std::printf("\n=== UC1 ablation: extra off-chip block budget ===\n");
+    std::printf("%10s %12s %12s\n", "budget", "speedup", "switch-outs");
+    for (std::size_t i = 0; i < budgets.idx.size(); ++i) {
+        const auto &r = runs[budgets.idx[i]];
+        std::printf("%10lld %12.3f %12.0f\n", budgets.knobs[i],
+                    speedup(r), r.result.stats.get("sm.switch_outs"));
+    }
+
+    std::printf("\n=== UC2 ablation: GPU handler latency (ha-prob, "
+                "speedup over CPU handling) ===\n");
+    std::printf("%12s %12s\n", "handler us", "speedup");
+    for (std::size_t i = 0; i < latencies.idx.size(); ++i)
+        std::printf("%12lld %12.3f\n", latencies.knobs[i],
+                    speedup(runs[latencies.idx[i]]));
+
+    std::printf("\n=== UC2 ablation: allocator serialization "
+                "(paper: lock-free => 0) ===\n");
+    std::printf("%14s %12s\n", "serial cycles", "speedup");
+    for (std::size_t i = 0; i < serials.idx.size(); ++i)
+        std::printf("%14lld %12.3f\n", serials.knobs[i],
+                    speedup(runs[serials.idx[i]]));
+
+    std::printf("\n=== Pipeline ablation: memory front-end depth "
+                "(lbm, relative to stall-on-fault) ===\n");
+    std::printf("%10s %12s %12s\n", "frontend", "wd-lastchk", "replay-q");
+    for (std::size_t i = 0; i < feWdl.idx.size(); ++i)
+        std::printf("%10lld %12.3f %12.3f\n", frontends[i],
+                    speedup(runs[feWdl.idx[i]]),
+                    speedup(runs[feRq.idx[i]]));
     return 0;
 }

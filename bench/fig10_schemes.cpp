@@ -5,6 +5,10 @@
  * normalized to the baseline stall-on-fault SM, on fault-free runs of
  * the Parboil-like suite (higher is better).
  *
+ * Runs on the parallel sweep engine: --jobs N spreads the grid over N
+ * worker threads (bit-identical results at any N), --json FILE exports
+ * every run's stats (schema: docs/METRICS.md).
+ *
  * Paper reference points: geomean wd-commit ~0.84, wd-lastcheck ~0.90,
  * replay-queue ~0.94; lbm is the worst case.
  */
@@ -14,35 +18,48 @@
 using namespace gex;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::SweepOptions opt =
+        bench::parseSweepArgs(argc, argv, "fig10_schemes");
+
+    const gpu::Scheme schemes[] = {gpu::Scheme::StallOnFault,
+                                   gpu::Scheme::WarpDisableCommit,
+                                   gpu::Scheme::WarpDisableLastCheck,
+                                   gpu::Scheme::ReplayQueue};
+
+    harness::SweepEngine eng(opt.jobs);
+    for (const auto &name : workloads::parboilSuite()) {
+        for (gpu::Scheme s : schemes) {
+            harness::RunSpec rs;
+            rs.workload = name;
+            rs.cfg = gpu::GpuConfig::baseline();
+            rs.cfg.scheme = s;
+            eng.add(std::move(rs));
+        }
+    }
+
     std::printf("=== Figure 10: preemptible-fault pipelines, normalized "
                 "to baseline (fault-free) ===\n");
     bench::printHeader({"baseline", "wd-commit", "wd-lastchk", "replay-q"});
 
-    std::vector<std::vector<double>> cols(3);
-    for (const auto &name : workloads::parboilSuite()) {
-        bench::TracedWorkload tw = bench::buildTraced(name);
-        gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
-        double base =
-            static_cast<double>(bench::runConfig(tw, cfg).cycles);
-        std::vector<double> row = {base};
-        gpu::Scheme schemes[] = {gpu::Scheme::WarpDisableCommit,
-                                 gpu::Scheme::WarpDisableLastCheck,
-                                 gpu::Scheme::ReplayQueue};
-        for (int i = 0; i < 3; ++i) {
-            cfg.scheme = schemes[i];
-            double c =
-                static_cast<double>(bench::runConfig(tw, cfg).cycles);
-            row.push_back(base / c);
-            cols[static_cast<size_t>(i)].push_back(base / c);
-        }
-        std::printf("%-14s %10.0f %10.3f %10.3f %10.3f\n", name.c_str(),
-                    row[0], row[1], row[2], row[3]);
+    std::vector<harness::RunRecord> runs =
+        bench::runAndReport(eng, opt, "fig10_schemes");
+
+    const std::size_t nSchemes = std::size(schemes);
+    for (std::size_t i = 0; i < runs.size(); i += nSchemes) {
+        std::printf("%-14s %10.0f", runs[i].spec.workload.c_str(),
+                    static_cast<double>(runs[i].result.cycles));
+        for (std::size_t j = 1; j < nSchemes; ++j)
+            std::printf(" %10.3f", runs[i + j].derived.at("normalized"));
+        std::printf("\n");
         std::fflush(stdout);
     }
+
+    std::map<std::string, double> gms = harness::seriesGeomeans(runs);
     std::printf("%-14s %10s %10.3f %10.3f %10.3f\n", "GEOMEAN", "",
-                geomean(cols[0]), geomean(cols[1]), geomean(cols[2]));
+                gms.at("wd-commit"), gms.at("wd-lastcheck"),
+                gms.at("replay-queue"));
     std::printf("\npaper: geomean wd-commit 0.84 / wd-lastcheck 0.90 / "
                 "replay-queue 0.94; lbm worst case\n");
     return 0;

@@ -4,6 +4,10 @@
  * sizes 8/16/20/32 KB, normalized to the baseline stall-on-fault SM,
  * fault-free runs (higher is better).
  *
+ * Runs on the parallel sweep engine: --jobs N spreads the grid over N
+ * worker threads (bit-identical results at any N), --json FILE exports
+ * every run's stats (schema: docs/METRICS.md).
+ *
  * Paper reference points: geomean ~0.966 at 8 KB, ~0.992 at 16 KB; the
  * log is most effective on lbm (from 0.60 under replay-queue to ~0.97).
  */
@@ -13,34 +17,51 @@
 using namespace gex;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::SweepOptions opt =
+        bench::parseSweepArgs(argc, argv, "fig11_operand_log");
+
+    const std::uint32_t sizes[] = {8, 16, 20, 32};
+    const std::size_t nSeries = 1 + std::size(sizes);
+
+    harness::SweepEngine eng(opt.jobs);
+    for (const auto &name : workloads::parboilSuite()) {
+        harness::RunSpec base;
+        base.workload = name;
+        base.cfg = gpu::GpuConfig::baseline();
+        eng.add(base);
+        for (std::uint32_t kb : sizes) {
+            harness::RunSpec rs;
+            rs.workload = name;
+            rs.cfg = gpu::GpuConfig::baseline();
+            rs.cfg.scheme = gpu::Scheme::OperandLog;
+            rs.cfg.operandLogBytes = kb * 1024;
+            rs.series = std::to_string(kb) + "KB";
+            eng.add(std::move(rs));
+        }
+    }
+
     std::printf("=== Figure 11: operand log size sweep, normalized to "
                 "baseline (fault-free) ===\n");
     bench::printHeader({"baseline", "8KB", "16KB", "20KB", "32KB"});
 
-    const std::uint32_t sizes[] = {8, 16, 20, 32};
-    std::vector<std::vector<double>> cols(4);
-    for (const auto &name : workloads::parboilSuite()) {
-        bench::TracedWorkload tw = bench::buildTraced(name);
-        gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
-        double base =
-            static_cast<double>(bench::runConfig(tw, cfg).cycles);
-        std::printf("%-14s %10.0f", name.c_str(), base);
-        cfg.scheme = gpu::Scheme::OperandLog;
-        for (int i = 0; i < 4; ++i) {
-            cfg.operandLogBytes = sizes[i] * 1024;
-            double c =
-                static_cast<double>(bench::runConfig(tw, cfg).cycles);
-            std::printf(" %10.3f", base / c);
-            cols[static_cast<size_t>(i)].push_back(base / c);
-        }
+    std::vector<harness::RunRecord> runs =
+        bench::runAndReport(eng, opt, "fig11_operand_log");
+
+    for (std::size_t i = 0; i < runs.size(); i += nSeries) {
+        std::printf("%-14s %10.0f", runs[i].spec.workload.c_str(),
+                    static_cast<double>(runs[i].result.cycles));
+        for (std::size_t j = 1; j < nSeries; ++j)
+            std::printf(" %10.3f", runs[i + j].derived.at("normalized"));
         std::printf("\n");
         std::fflush(stdout);
     }
+
+    std::map<std::string, double> gms = harness::seriesGeomeans(runs);
     std::printf("%-14s %10s", "GEOMEAN", "");
-    for (const auto &col : cols)
-        std::printf(" %10.3f", geomean(col));
+    for (std::uint32_t kb : sizes)
+        std::printf(" %10.3f", gms.at(std::to_string(kb) + "KB"));
     std::printf("\n\npaper: geomean 0.966 at 8KB, 0.992 at 16KB\n");
     return 0;
 }

@@ -1,7 +1,9 @@
 #include "common/stats.hpp"
 
 #include <cmath>
+#include <sstream>
 
+#include "common/json.hpp"
 #include "common/log.hpp"
 
 namespace gex {
@@ -26,6 +28,24 @@ StatSet::dumpCsv(std::ostream &os) const
     os << "stat,value\n";
     for (const auto &kv : scalars_)
         os << kv.first << "," << kv.second << "\n";
+}
+
+void
+StatSet::writeJson(json::Writer &w) const
+{
+    w.beginObject();
+    for (const auto &kv : scalars_)
+        w.key(kv.first).value(kv.second);
+    w.endObject();
+}
+
+std::string
+StatSet::toJson() const
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    writeJson(w);
+    return os.str();
 }
 
 double

@@ -15,6 +15,8 @@
 
 namespace gex {
 
+namespace json { class Writer; }
+
 /**
  * A group of named scalar statistics. Components register counters by
  * name; harnesses read them back after simulation.
@@ -75,6 +77,16 @@ class StatSet
      * suitable for spreadsheet/pandas ingestion of sweep results.
      */
     void dumpCsv(std::ostream &os) const;
+
+    /**
+     * JSON object mapping stat name to value, keys sorted, doubles in
+     * round-trippable form: parsing the text back recovers bit-equal
+     * values (see json::formatNumber).
+     */
+    std::string toJson() const;
+
+    /** Stream @p this as a JSON object into an in-progress document. */
+    void writeJson(json::Writer &w) const;
 
   private:
     std::map<std::string, double> scalars_;

@@ -20,6 +20,7 @@
 #ifndef GEX_GEX_HPP
 #define GEX_GEX_HPP
 
+#include "common/json.hpp"
 #include "common/log.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -28,6 +29,7 @@
 #include "func/memory.hpp"
 #include "gpu/config.hpp"
 #include "gpu/gpu.hpp"
+#include "harness/sweep.hpp"
 #include "isa/program.hpp"
 #include "kasm/builder.hpp"
 #include "kasm/parser.hpp"

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/log.hpp"
+
 namespace gex::gpu {
 
 const char *
@@ -15,6 +17,27 @@ schemeName(Scheme s)
       case Scheme::OperandLog: return "operand-log";
     }
     return "?";
+}
+
+Scheme
+schemeFromName(const std::string &name)
+{
+    for (Scheme s : allSchemes())
+        if (name == schemeName(s))
+            return s;
+    fatal("unknown scheme '%s' (expected baseline | wd-commit | "
+          "wd-lastcheck | replay-queue | operand-log)", name.c_str());
+}
+
+const std::vector<Scheme> &
+allSchemes()
+{
+    static const std::vector<Scheme> all = {
+        Scheme::StallOnFault, Scheme::WarpDisableCommit,
+        Scheme::WarpDisableLastCheck, Scheme::ReplayQueue,
+        Scheme::OperandLog,
+    };
+    return all;
 }
 
 GpuConfig

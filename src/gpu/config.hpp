@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "mem/cache.hpp"
 #include "vm/fill_unit.hpp"
@@ -33,6 +34,16 @@ enum class Scheme : std::uint8_t {
 };
 
 const char *schemeName(Scheme s);
+
+/**
+ * Parse a scheme from its canonical name ("baseline", "wd-commit",
+ * "wd-lastcheck", "replay-queue", "operand-log"); fatal() on unknown
+ * names, listing the accepted spellings.
+ */
+Scheme schemeFromName(const std::string &name);
+
+/** All five schemes in paper order (baseline first). */
+const std::vector<Scheme> &allSchemes();
 
 /** Warp selection policy for the fetch/issue schedulers. */
 enum class SchedPolicy : std::uint8_t {

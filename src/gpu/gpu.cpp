@@ -1,8 +1,32 @@
 #include "gpu/gpu.hpp"
 
+#include <sstream>
+
+#include "common/json.hpp"
 #include "common/log.hpp"
 
 namespace gex::gpu {
+
+void
+SimResult::writeJson(json::Writer &w) const
+{
+    w.beginObject();
+    w.key("cycles").value(static_cast<std::uint64_t>(cycles));
+    w.key("instructions").value(instructions);
+    w.key("ipc").value(ipc());
+    w.key("stats");
+    stats.writeJson(w);
+    w.endObject();
+}
+
+std::string
+SimResult::toJson() const
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    writeJson(w);
+    return os.str();
+}
 
 Gpu::Gpu(const GpuConfig &cfg) : cfg_(cfg) {}
 Gpu::~Gpu() = default;

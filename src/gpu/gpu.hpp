@@ -39,6 +39,15 @@ struct SimResult {
                             static_cast<double>(cycles)
                       : 0.0;
     }
+
+    /**
+     * JSON object: {"cycles": N, "instructions": N, "ipc": X,
+     * "stats": {...}} with round-trippable numbers.
+     */
+    std::string toJson() const;
+
+    /** Stream @p this as a JSON object into an in-progress document. */
+    void writeJson(json::Writer &w) const;
 };
 
 /**
@@ -55,6 +64,12 @@ class Gpu : public sm::MemorySystem
     /**
      * Execute @p kernel (whose dynamic behaviour is @p trace) under
      * the given paging policy.
+     *
+     * Thread-safety contract (relied on by harness::SweepEngine): the
+     * kernel and trace are read-only here and in everything reachable
+     * from run() — any number of Gpu instances on different threads
+     * may share one trace concurrently. A single Gpu instance is NOT
+     * reentrant; use one Gpu per thread.
      */
     SimResult run(const func::Kernel &kernel,
                   const trace::KernelTrace &trace,

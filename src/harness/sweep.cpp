@@ -1,0 +1,204 @@
+#include "harness/sweep.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <fstream>
+#include <thread>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+
+namespace gex::harness {
+
+TracedWorkload
+buildTraced(const std::string &name, int scale)
+{
+    TracedWorkload tw;
+    tw.name = name;
+    tw.scale = scale;
+    tw.mem = std::make_unique<func::GlobalMemory>();
+    auto w = workloads::make(name, *tw.mem, scale);
+    tw.kernel = std::move(w.kernel);
+    func::FunctionalSim fsim(*tw.mem);
+    tw.trace = fsim.run(tw.kernel);
+    return tw;
+}
+
+const TracedWorkload &
+TraceCache::get(const std::string &name, int scale)
+{
+    Entry *e;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto &slot = entries_[{name, scale}];
+        if (!slot)
+            slot = std::make_unique<Entry>();
+        e = slot.get();
+    }
+    // Build outside the map lock so distinct workloads trace
+    // concurrently; call_once serializes builders of the same one.
+    std::call_once(e->once,
+                   [&] { e->tw = buildTraced(name, scale); });
+    return e->tw;
+}
+
+std::size_t
+TraceCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+SweepEngine::SweepEngine(int jobs)
+{
+    if (jobs <= 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        jobs = hw ? static_cast<int>(hw) : 1;
+    }
+    jobs_ = jobs;
+}
+
+std::size_t
+SweepEngine::add(RunSpec spec)
+{
+    specs_.push_back(std::move(spec));
+    return specs_.size() - 1;
+}
+
+std::vector<RunRecord>
+SweepEngine::run()
+{
+    std::vector<RunSpec> specs = std::move(specs_);
+    specs_.clear();
+
+    std::vector<RunRecord> records(specs.size());
+    std::atomic<std::size_t> nextIdx{0};
+    std::atomic<bool> failed{false};
+    std::mutex errMu;
+    std::string firstError;
+
+    auto worker = [&]() {
+        while (!failed.load(std::memory_order_relaxed)) {
+            std::size_t i = nextIdx.fetch_add(1);
+            if (i >= specs.size())
+                return;
+            try {
+                const RunSpec &rs = specs[i];
+                const TracedWorkload &tw =
+                    cache_.get(rs.workload, rs.scale);
+                gpu::Gpu g(rs.cfg);
+                records[i].spec = rs;
+                records[i].result =
+                    g.run(tw.kernel, tw.trace, rs.policy);
+            } catch (const std::exception &ex) {
+                std::lock_guard<std::mutex> lock(errMu);
+                if (firstError.empty())
+                    firstError = ex.what();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    int nthreads =
+        static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(jobs_), specs.size()));
+    if (nthreads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(nthreads));
+        for (int t = 0; t < nthreads; ++t)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
+
+    if (failed.load())
+        fatal("sweep run failed: %s", firstError.c_str());
+    return records;
+}
+
+void
+normalizeToSeries(std::vector<RunRecord> &runs,
+                  const std::string &baseSeries, const std::string &key)
+{
+    std::map<std::string, double> baseCycles;
+    for (const RunRecord &r : runs)
+        if (r.spec.seriesLabel() == baseSeries)
+            baseCycles[r.spec.groupLabel()] =
+                static_cast<double>(r.result.cycles);
+    for (RunRecord &r : runs) {
+        auto it = baseCycles.find(r.spec.groupLabel());
+        if (it == baseCycles.end() || r.result.cycles == 0)
+            continue;
+        r.derived[key] =
+            it->second / static_cast<double>(r.result.cycles);
+    }
+}
+
+std::map<std::string, double>
+seriesGeomeans(const std::vector<RunRecord> &runs, const std::string &key)
+{
+    std::map<std::string, std::vector<double>> bySeries;
+    for (const RunRecord &r : runs) {
+        auto it = r.derived.find(key);
+        if (it != r.derived.end() && it->second > 0.0)
+            bySeries[r.spec.seriesLabel()].push_back(it->second);
+    }
+    std::map<std::string, double> out;
+    for (const auto &kv : bySeries)
+        out[kv.first] = geomean(kv.second);
+    return out;
+}
+
+void
+SweepReport::writeJson(std::ostream &os) const
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.key("name").value(name);
+    w.key("jobs").value(jobs);
+    w.key("wall_seconds").value(wallSeconds);
+    w.key("runs").beginArray();
+    for (const RunRecord &r : runs) {
+        w.beginObject();
+        w.key("workload").value(r.spec.workload);
+        w.key("scale").value(r.spec.scale);
+        w.key("group").value(r.spec.groupLabel());
+        w.key("series").value(r.spec.seriesLabel());
+        w.key("scheme").value(gpu::schemeName(r.spec.cfg.scheme));
+        w.key("policy").value(vm::policyName(r.spec.policy));
+        w.key("cycles").value(
+            static_cast<std::uint64_t>(r.result.cycles));
+        w.key("instructions").value(r.result.instructions);
+        w.key("ipc").value(r.result.ipc());
+        w.key("derived").beginObject();
+        for (const auto &kv : r.derived)
+            w.key(kv.first).value(kv.second);
+        w.endObject();
+        w.key("stats");
+        r.result.stats.writeJson(w);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("geomeans").beginObject();
+    for (const auto &kv : geomeans)
+        w.key(kv.first).value(kv.second);
+    w.endObject();
+    w.endObject();
+    os << "\n";
+    GEX_ASSERT(w.complete());
+}
+
+void
+SweepReport::saveJson(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    writeJson(os);
+}
+
+} // namespace gex::harness

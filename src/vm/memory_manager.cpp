@@ -1,5 +1,7 @@
 #include "vm/memory_manager.hpp"
 
+#include "common/log.hpp"
+
 namespace gex::vm {
 
 VmPolicy
@@ -35,6 +37,35 @@ VmPolicy::heapFaults(bool local)
     p.heap = RegionState::Untouched;
     p.localHandling = local;
     return p;
+}
+
+VmPolicy
+policyFromName(const std::string &name)
+{
+    if (name == "resident") return VmPolicy::allResident();
+    if (name == "demand-paging") return VmPolicy::demandPaging();
+    if (name == "output-faults") return VmPolicy::outputFaults(false);
+    if (name == "output-faults-local") return VmPolicy::outputFaults(true);
+    if (name == "heap-faults") return VmPolicy::heapFaults(false);
+    if (name == "heap-faults-local") return VmPolicy::heapFaults(true);
+    fatal("unknown policy '%s' (expected resident | demand-paging | "
+          "output-faults[-local] | heap-faults[-local])", name.c_str());
+}
+
+const char *
+policyName(const VmPolicy &p)
+{
+    auto same = [](const VmPolicy &a, const VmPolicy &b) {
+        return a.inputs == b.inputs && a.outputs == b.outputs &&
+               a.heap == b.heap && a.localHandling == b.localHandling;
+    };
+    if (same(p, VmPolicy::allResident())) return "resident";
+    if (same(p, VmPolicy::demandPaging())) return "demand-paging";
+    if (same(p, VmPolicy::outputFaults(false))) return "output-faults";
+    if (same(p, VmPolicy::outputFaults(true))) return "output-faults-local";
+    if (same(p, VmPolicy::heapFaults(false))) return "heap-faults";
+    if (same(p, VmPolicy::heapFaults(true))) return "heap-faults-local";
+    return "custom";
 }
 
 void

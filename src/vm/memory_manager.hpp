@@ -70,6 +70,19 @@ class AddressSpace
 void applyPolicy(PageDirectory &dir, const func::Kernel &kernel,
                  const VmPolicy &policy);
 
+/**
+ * Parse one of the evaluation-mode preset names: "resident" |
+ * "demand-paging" | "output-faults[-local]" | "heap-faults[-local]".
+ * fatal() on unknown names.
+ */
+VmPolicy policyFromName(const std::string &name);
+
+/**
+ * Canonical preset name of @p policy, matching policyFromName();
+ * "custom" when the field combination matches no preset.
+ */
+const char *policyName(const VmPolicy &policy);
+
 } // namespace gex::vm
 
 #endif // GEX_VM_MEMORY_MANAGER_HPP

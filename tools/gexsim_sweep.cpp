@@ -1,0 +1,222 @@
+/**
+ * @file
+ * gexsim-sweep: run a (workload × scheme) grid on the parallel sweep
+ * engine, print a normalized-performance table, and optionally export
+ * the full result set — per-run stats included — as a BENCH_*.json
+ * document (schema: docs/METRICS.md).
+ *
+ *   gexsim-sweep --suite parboil --jobs 4 --json BENCH_sweep.json
+ *   gexsim-sweep --workloads sgemm,lbm --schemes baseline,replay-queue \
+ *                --policy demand-paging --link pcie
+ *
+ * Run with --help for the full flag list.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "gex.hpp"
+
+using namespace gex;
+
+namespace {
+
+struct Options {
+    std::vector<std::string> workloads;
+    std::vector<std::string> schemes = {"baseline", "wd-commit",
+                                        "wd-lastcheck", "replay-queue",
+                                        "operand-log"};
+    std::string suite = "parboil";
+    std::string policy = "resident";
+    std::string link = "nvlink";
+    std::string jsonPath;
+    int scale = 1;
+    int sms = 16;
+    std::uint32_t logKb = 16;
+    int jobs = 1;
+    bool blockSwitching = false;
+    bool listWorkloads = false;
+};
+
+void
+usage()
+{
+    std::printf(
+        "gexsim-sweep: parallel (workload x scheme) sweep driver\n\n"
+        "  --suite S           parboil | halloc | all (default parboil)\n"
+        "  --workloads A,B,C   explicit workload list (overrides --suite)\n"
+        "  --schemes A,B,C     schemes to sweep (default all five)\n"
+        "  --policy P          resident | demand-paging |\n"
+        "                      output-faults[-local] | heap-faults[-local]\n"
+        "  --link L            nvlink | pcie\n"
+        "  --scale N           workload scale factor (default 1)\n"
+        "  --sms N             number of SMs (default 16)\n"
+        "  --log-kb N          operand log size in KB (default 16)\n"
+        "  --block-switching   enable UC1 block switching\n"
+        "  --jobs N            worker threads (default 1; 0 = all cores)\n"
+        "  --json FILE         write the full result set as JSON\n"
+        "  --list              list built-in workloads\n");
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t comma = s.find(',', start);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > start)
+            out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("flag %s needs a value", a.c_str());
+            return argv[++i];
+        };
+        if (a == "--suite") o.suite = next();
+        else if (a == "--workloads") o.workloads = splitCsv(next());
+        else if (a == "--schemes") o.schemes = splitCsv(next());
+        else if (a == "--policy") o.policy = next();
+        else if (a == "--link") o.link = next();
+        else if (a == "--scale") o.scale = std::atoi(next().c_str());
+        else if (a == "--sms") o.sms = std::atoi(next().c_str());
+        else if (a == "--log-kb")
+            o.logKb = static_cast<std::uint32_t>(std::atoi(next().c_str()));
+        else if (a == "--block-switching") o.blockSwitching = true;
+        else if (a == "--jobs") o.jobs = std::atoi(next().c_str());
+        else if (a == "--json") o.jsonPath = next();
+        else if (a == "--list") o.listWorkloads = true;
+        else if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            usage();
+            fatal("unknown flag '%s'", a.c_str());
+        }
+    }
+    return o;
+}
+
+std::vector<std::string>
+resolveWorkloads(const Options &o)
+{
+    if (!o.workloads.empty()) {
+        for (const auto &w : o.workloads)
+            if (!workloads::exists(w))
+                fatal("unknown workload '%s' (try --list)", w.c_str());
+        return o.workloads;
+    }
+    if (o.suite == "parboil")
+        return workloads::parboilSuite();
+    if (o.suite == "halloc")
+        return workloads::hallocSuite();
+    if (o.suite == "all")
+        return workloads::allNames();
+    fatal("unknown suite '%s' (expected parboil | halloc | all)",
+          o.suite.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parseArgs(argc, argv);
+    if (o.listWorkloads) {
+        for (const auto &n : workloads::allNames())
+            std::printf("%s\n", n.c_str());
+        return 0;
+    }
+
+    std::vector<std::string> names = resolveWorkloads(o);
+    if (o.schemes.empty())
+        fatal("--schemes resolved to an empty list");
+
+    gpu::GpuConfig base = gpu::GpuConfig::baseline();
+    base.numSms = o.sms;
+    base.operandLogBytes = o.logKb * 1024;
+    base.hostLink = o.link == "pcie" ? vm::HostLinkConfig::pcie()
+                                     : vm::HostLinkConfig::nvlink();
+    base.blockSwitching = o.blockSwitching;
+    vm::VmPolicy policy = vm::policyFromName(o.policy);
+
+    harness::SweepEngine eng(o.jobs);
+    for (const auto &w : names) {
+        for (const auto &s : o.schemes) {
+            harness::RunSpec rs;
+            rs.workload = w;
+            rs.scale = o.scale;
+            rs.cfg = base;
+            rs.cfg.scheme = gpu::schemeFromName(s);
+            rs.policy = policy;
+            eng.add(std::move(rs));
+        }
+    }
+
+    std::printf("sweep: %zu workloads x %zu schemes = %zu runs, "
+                "%d jobs, policy %s\n",
+                names.size(), o.schemes.size(), eng.size(), eng.jobs(),
+                o.policy.c_str());
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<harness::RunRecord> runs = eng.run();
+    auto t1 = std::chrono::steady_clock::now();
+    double wall = std::chrono::duration<double>(t1 - t0).count();
+
+    // Normalize to the first listed scheme (column 1 of the table).
+    const std::string baseSeries = o.schemes.front();
+    harness::normalizeToSeries(runs, baseSeries);
+
+    std::printf("%-14s %12s", "benchmark", "base-cycles");
+    for (const auto &s : o.schemes)
+        if (s != baseSeries)
+            std::printf(" %12s", s.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const auto &r = runs[i];
+        if (r.spec.seriesLabel() == baseSeries)
+            std::printf("%-14s %12llu", r.spec.workload.c_str(),
+                        static_cast<unsigned long long>(r.result.cycles));
+        else
+            std::printf(" %12.3f", r.derived.count("normalized")
+                                       ? r.derived.at("normalized")
+                                       : 0.0);
+        if ((i + 1) % o.schemes.size() == 0)
+            std::printf("\n");
+    }
+
+    std::map<std::string, double> gms = harness::seriesGeomeans(runs);
+    std::printf("%-14s %12s", "GEOMEAN", "");
+    for (const auto &s : o.schemes)
+        if (s != baseSeries)
+            std::printf(" %12.3f", gms.count(s) ? gms.at(s) : 0.0);
+    std::printf("\nwall time: %.2fs (%d jobs, %zu traces)\n", wall,
+                eng.jobs(), eng.traces().size());
+
+    if (!o.jsonPath.empty()) {
+        harness::SweepReport rep;
+        rep.name = "gexsim_sweep";
+        rep.jobs = eng.jobs();
+        rep.wallSeconds = wall;
+        rep.runs = std::move(runs);
+        rep.geomeans = std::move(gms);
+        rep.saveJson(o.jsonPath);
+        std::printf("wrote %s\n", o.jsonPath.c_str());
+    }
+    return 0;
+}
