@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Ring: a growable FIFO ring buffer with inline small-buffer storage,
+ * replacing std::deque in the SM's per-warp hot state (instruction
+ * buffers, replay queues, saved-warp context). A std::deque allocates
+ * its map and at least one node on first use and scatters entries
+ * across heap chunks; Ring keeps the common case (a handful of
+ * entries) inside the owning object, so scanning 64 warps per cycle
+ * touches contiguous memory and empty()/front() are two loads.
+ *
+ * Restricted to trivially copyable element types: that keeps growth
+ * and copies memmove-simple and is all the SM state needs.
+ */
+
+#ifndef GEX_COMMON_RING_HPP
+#define GEX_COMMON_RING_HPP
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+#include "common/log.hpp"
+
+namespace gex {
+
+template <typename T, std::size_t InlineN = 8>
+class Ring
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Ring is for trivially copyable element types");
+    static_assert(InlineN >= 2 && (InlineN & (InlineN - 1)) == 0,
+                  "InlineN must be a power of two");
+
+  public:
+    Ring() = default;
+
+    Ring(const Ring &o) { copyFrom(o); }
+
+    Ring &
+    operator=(const Ring &o)
+    {
+        if (this != &o) {
+            release();
+            copyFrom(o);
+        }
+        return *this;
+    }
+
+    Ring(Ring &&o) noexcept { moveFrom(o); }
+
+    Ring &
+    operator=(Ring &&o) noexcept
+    {
+        if (this != &o) {
+            release();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    ~Ring() { release(); }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+    /** Slots available before the next growth (power of two). */
+    std::size_t capacity() const { return cap_; }
+    bool onHeap() const { return buf_ != inline_; }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+    /** Grow so @p n elements fit without reallocation. */
+    void
+    reserve(std::size_t n)
+    {
+        if (n > cap_)
+            grow(n);
+    }
+
+    T &
+    operator[](std::size_t i)
+    {
+        GEX_ASSERT(i < size_);
+        return buf_[(head_ + i) & (cap_ - 1)];
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        GEX_ASSERT(i < size_);
+        return buf_[(head_ + i) & (cap_ - 1)];
+    }
+
+    T &front() { return (*this)[0]; }
+    const T &front() const { return (*this)[0]; }
+    T &back() { return (*this)[size_ - 1]; }
+    const T &back() const { return (*this)[size_ - 1]; }
+
+    void
+    push_back(const T &v)
+    {
+        if (size_ == cap_)
+            grow(cap_ * 2);
+        buf_[(head_ + size_) & (cap_ - 1)] = v;
+        ++size_;
+    }
+
+    void
+    pop_front()
+    {
+        GEX_ASSERT(size_ > 0);
+        head_ = (head_ + 1) & (cap_ - 1);
+        --size_;
+    }
+
+    void
+    pop_back()
+    {
+        GEX_ASSERT(size_ > 0);
+        --size_;
+    }
+
+    /** Insert @p v before position @p pos (0..size()), shifting the tail. */
+    void
+    insert(std::size_t pos, const T &v)
+    {
+        GEX_ASSERT(pos <= size_);
+        if (size_ == cap_)
+            grow(cap_ * 2);
+        const std::size_t mask = cap_ - 1;
+        for (std::size_t j = size_; j > pos; --j)
+            buf_[(head_ + j) & mask] = buf_[(head_ + j - 1) & mask];
+        buf_[(head_ + pos) & mask] = v;
+        ++size_;
+    }
+
+    /**
+     * First position whose element is not less than @p v, assuming the
+     * ring's contents are sorted ascending (the replay queue
+     * invariant). Standard binary search over operator[].
+     */
+    std::size_t
+    lowerBound(const T &v) const
+    {
+        std::size_t lo = 0, hi = size_;
+        while (lo < hi) {
+            std::size_t mid = lo + (hi - lo) / 2;
+            if ((*this)[mid] < v)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+  private:
+    void
+    copyFrom(const Ring &o)
+    {
+        if (o.size_ <= InlineN) {
+            buf_ = inline_;
+            cap_ = InlineN;
+        } else {
+            cap_ = InlineN;
+            while (cap_ < o.size_)
+                cap_ *= 2;
+            buf_ = new T[cap_];
+        }
+        head_ = 0;
+        size_ = o.size_;
+        for (std::size_t i = 0; i < size_; ++i)
+            buf_[i] = o[i];
+    }
+
+    void
+    moveFrom(Ring &o)
+    {
+        if (o.onHeap()) {
+            buf_ = o.buf_;
+            cap_ = o.cap_;
+            head_ = o.head_;
+            size_ = o.size_;
+            o.buf_ = o.inline_;
+            o.cap_ = InlineN;
+        } else {
+            buf_ = inline_;
+            cap_ = InlineN;
+            head_ = o.head_;
+            size_ = o.size_;
+            std::memcpy(inline_, o.inline_, sizeof inline_);
+        }
+        o.head_ = 0;
+        o.size_ = 0;
+    }
+
+    void
+    grow(std::size_t min_cap)
+    {
+        std::size_t ncap = cap_;
+        while (ncap < min_cap)
+            ncap *= 2;
+        T *nbuf = new T[ncap];
+        for (std::size_t i = 0; i < size_; ++i)
+            nbuf[i] = buf_[(head_ + i) & (cap_ - 1)];
+        if (onHeap())
+            delete[] buf_;
+        buf_ = nbuf;
+        cap_ = ncap;
+        head_ = 0;
+    }
+
+    void
+    release()
+    {
+        if (onHeap()) {
+            delete[] buf_;
+            buf_ = inline_;
+            cap_ = InlineN;
+        }
+        head_ = 0;
+        size_ = 0;
+    }
+
+    T inline_[InlineN];
+    T *buf_ = inline_;
+    std::size_t cap_ = InlineN;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace gex
+
+#endif // GEX_COMMON_RING_HPP

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/log.hpp"
+#include "sm/coalescer.hpp"
 
 namespace gex::func {
 
@@ -258,15 +259,10 @@ FunctionalSim::stepWarp(const Kernel &kernel, BlockExec &blk, WarpExec &we,
 
     auto add_lines_for = [&](const std::vector<Addr> &addrs) {
         // Coalesce: one request per unique cache line (paper Fig 5).
-        std::vector<Addr> lines;
-        lines.reserve(addrs.size());
-        for (Addr a : addrs)
-            lines.push_back(lineOf(a));
-        std::sort(lines.begin(), lines.end());
-        lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
-        for (Addr l : lines)
+        sm::coalesceInto(addrs.data(), addrs.size(), lineScratch_);
+        for (Addr l : lineScratch_)
             out.linePool.push_back(l);
-        ti.numLines = static_cast<std::uint16_t>(lines.size());
+        ti.numLines = static_cast<std::uint16_t>(lineScratch_.size());
     };
 
     auto lane_reg = [&](int lane, isa::Reg r) {
@@ -596,7 +592,8 @@ FunctionalSim::stepWarp(const Kernel &kernel, BlockExec &blk, WarpExec &we,
         }
         break;
       case Opcode::LD_GLOBAL: {
-        std::vector<Addr> addrs;
+        std::vector<Addr> &addrs = addrScratch_;
+        addrs.clear();
         for (int lane = 0; lane < kWarpSize; ++lane) {
             if (!(g & (1u << lane)))
                 continue;
@@ -609,7 +606,8 @@ FunctionalSim::stepWarp(const Kernel &kernel, BlockExec &blk, WarpExec &we,
         break;
       }
       case Opcode::ST_GLOBAL: {
-        std::vector<Addr> addrs;
+        std::vector<Addr> &addrs = addrScratch_;
+        addrs.clear();
         for (int lane = 0; lane < kWarpSize; ++lane) {
             if (!(g & (1u << lane)))
                 continue;
@@ -641,7 +639,8 @@ FunctionalSim::stepWarp(const Kernel &kernel, BlockExec &blk, WarpExec &we,
         break;
       case Opcode::ATOM_ADD: case Opcode::ATOM_MIN: case Opcode::ATOM_MAX:
       case Opcode::ATOM_EXCH: {
-        std::vector<Addr> addrs;
+        std::vector<Addr> &addrs = addrScratch_;
+        addrs.clear();
         for (int lane = 0; lane < kWarpSize; ++lane) {
             if (!(g & (1u << lane)))
                 continue;
@@ -664,7 +663,8 @@ FunctionalSim::stepWarp(const Kernel &kernel, BlockExec &blk, WarpExec &we,
         break;
       }
       case Opcode::ATOM_CAS: {
-        std::vector<Addr> addrs;
+        std::vector<Addr> &addrs = addrScratch_;
+        addrs.clear();
         for (int lane = 0; lane < kWarpSize; ++lane) {
             if (!(g & (1u << lane)))
                 continue;
@@ -680,7 +680,8 @@ FunctionalSim::stepWarp(const Kernel &kernel, BlockExec &blk, WarpExec &we,
         break;
       }
       case Opcode::ALLOC: {
-        std::vector<Addr> addrs;
+        std::vector<Addr> &addrs = addrScratch_;
+        addrs.clear();
         for (int lane = 0; lane < kWarpSize; ++lane) {
             if (!(g & (1u << lane)))
                 continue;

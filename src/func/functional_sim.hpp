@@ -57,6 +57,10 @@ class FunctionalSim
 
     GlobalMemory &mem_;
     std::uint64_t maxWarpInsts_ = 50'000'000;
+    /** Scratch reused across every traced memory instruction so the
+     *  per-instruction hot path performs no heap allocation. */
+    std::vector<Addr> addrScratch_;
+    std::vector<Addr> lineScratch_;
 };
 
 } // namespace gex::func

@@ -41,6 +41,7 @@ Gpu::reset(const func::Kernel &kernel, const trace::KernelTrace &trace,
     dram_ = std::make_unique<mem::Dram>(cfg_.dramBytesPerCycle,
                                         cfg_.dramLatency);
     l2_->setWriteback([this](Addr, Cycle at) { dram_->writeLine(at); });
+    dramFetchFn_ = [this](Addr, Cycle t) { return dram_->readLine(t); };
     dir_ = std::make_unique<vm::PageDirectory>(
         cfg_.migrationGranularityBytes);
     link_ = std::make_unique<vm::HostLink>(cfg_.hostLink);
@@ -150,10 +151,7 @@ Gpu::run(const func::Kernel &kernel, const trace::KernelTrace &trace,
 Cycle
 Gpu::l2Load(Addr line, Cycle earliest)
 {
-    return l2_->load(line, earliest, [this](Addr l, Cycle t) {
-        (void)l;
-        return dram_->readLine(t);
-    });
+    return l2_->load(line, earliest, dramFetchFn_);
 }
 
 Cycle
@@ -167,10 +165,7 @@ Gpu::l2Store(Addr line, Cycle earliest)
 Cycle
 Gpu::l2Atomic(Addr line, Cycle earliest)
 {
-    Cycle done = l2_->load(line, earliest, [this](Addr l, Cycle t) {
-        (void)l;
-        return dram_->readLine(t);
-    });
+    Cycle done = l2_->load(line, earliest, dramFetchFn_);
     return done + cfg_.sm.atomicExtraLatency;
 }
 

@@ -93,6 +93,9 @@ class Gpu : public sm::MemorySystem
     GpuConfig cfg_;
     std::unique_ptr<mem::Cache> l2_;
     std::unique_ptr<mem::Dram> dram_;
+    /** Built once per reset(); l2Load/l2Atomic run per miss and must
+     *  not construct a std::function each call. */
+    mem::Cache::FetchFn dramFetchFn_;
     std::unique_ptr<vm::PageDirectory> dir_;
     std::unique_ptr<vm::HostLink> link_;
     std::unique_ptr<vm::GpuFaultHandler> gpuHandler_;

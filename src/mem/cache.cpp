@@ -7,6 +7,14 @@ Cache::Cache(const CacheConfig &cfg)
       ways_(numSets_ * cfg.ways), port_(cfg.ports)
 {
     GEX_ASSERT(numSets_ > 0, "cache %s too small", cfg.name.c_str());
+    // Steady-state occupancy is bounded by the MSHR count (entries
+    // expire lazily, so keep headroom); sizing up front keeps the miss
+    // path allocation-free.
+    pendingByLine_.reserve(cfg.mshrs * 2);
+    std::vector<std::pair<Cycle, Addr>> backing;
+    backing.reserve(cfg.mshrs * 2);
+    pendingHeap_ = decltype(pendingHeap_)(std::greater<>(),
+                                          std::move(backing));
 }
 
 std::uint64_t
@@ -56,9 +64,9 @@ Cache::drainMshrs(Cycle now)
     while (!pendingHeap_.empty() && pendingHeap_.top().first <= now) {
         auto [ready, line] = pendingHeap_.top();
         pendingHeap_.pop();
-        auto it = pendingByLine_.find(line);
-        if (it != pendingByLine_.end() && it->second == ready)
-            pendingByLine_.erase(it);
+        const Cycle *p = pendingByLine_.find(line);
+        if (p && *p == ready)
+            pendingByLine_.erase(line);
     }
 }
 
@@ -89,12 +97,12 @@ Cache::load(Addr line, Cycle now, const FetchFn &fetch)
     // Tags are installed when the miss is issued, so a "hit" may be on
     // a line whose fill is still in flight: such accesses merge into
     // the outstanding miss and see its completion time.
-    auto it = pendingByLine_.find(line);
-    if (it != pendingByLine_.end() && it->second > start + cfg_.latency) {
+    const Cycle *pending = pendingByLine_.find(line);
+    if (pending && *pending > start + cfg_.latency) {
         ++merges_;
         if (way >= 0)
             touch(set, way);
-        return it->second;
+        return *pending;
     }
     if (way >= 0) {
         ++hits_;
@@ -147,7 +155,8 @@ Cache::flush()
     for (Way &w : ways_)
         w = Way{};
     pendingByLine_.clear();
-    pendingHeap_ = {};
+    while (!pendingHeap_.empty()) // keeps the reserved backing storage
+        pendingHeap_.pop();
 }
 
 void

@@ -11,9 +11,9 @@
 #include <functional>
 #include <queue>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/stats.hpp"
 #include "mem/port.hpp"
 
@@ -105,9 +105,11 @@ class Cache
     std::uint64_t useClock_ = 0;
     std::uint64_t writebacks_ = 0;
 
-    // Outstanding misses: per-line ready time for merging plus a heap
-    // for occupancy accounting.
-    std::unordered_map<Addr, Cycle> pendingByLine_;
+    // Outstanding misses: per-line ready time for merging (flat
+    // open-addressing map: one probe per access, no node churn) plus a
+    // heap for occupancy accounting, its backing vector pre-reserved
+    // for the MSHR count so steady state never reallocates.
+    FlatMap<Cycle> pendingByLine_;
     std::priority_queue<std::pair<Cycle, Addr>,
                         std::vector<std::pair<Cycle, Addr>>,
                         std::greater<>>

@@ -4,22 +4,40 @@
 
 namespace gex::sm {
 
+void
+coalesceInto(const Addr *lane_addrs, std::size_t n,
+             std::vector<Addr> &lines_out)
+{
+    lines_out.clear();
+    lines_out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        lines_out.push_back(lineOf(lane_addrs[i]));
+    std::sort(lines_out.begin(), lines_out.end());
+    lines_out.erase(std::unique(lines_out.begin(), lines_out.end()),
+                    lines_out.end());
+}
+
 std::vector<Addr>
 coalesce(const std::vector<Addr> &lane_addrs)
 {
     std::vector<Addr> lines;
-    lines.reserve(lane_addrs.size());
-    for (Addr a : lane_addrs)
-        lines.push_back(lineOf(a));
-    std::sort(lines.begin(), lines.end());
-    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    coalesceInto(lane_addrs.data(), lane_addrs.size(), lines);
     return lines;
 }
 
 std::size_t
-coalescedCount(std::vector<Addr> lane_addrs)
+coalescedCount(const std::vector<Addr> &lane_addrs)
 {
-    return coalesce(lane_addrs).size();
+    // A warp has at most kWarpSize lanes, so the working set fits on
+    // the stack; fall back to the allocating path for oversized input.
+    if (lane_addrs.size() > static_cast<std::size_t>(kWarpSize))
+        return coalesce(lane_addrs).size();
+    Addr lines[kWarpSize];
+    std::size_t n = lane_addrs.size();
+    for (std::size_t i = 0; i < n; ++i)
+        lines[i] = lineOf(lane_addrs[i]);
+    std::sort(lines, lines + n);
+    return static_cast<std::size_t>(std::unique(lines, lines + n) - lines);
 }
 
 } // namespace gex::sm

@@ -9,17 +9,27 @@
 #ifndef GEX_SM_COALESCER_HPP
 #define GEX_SM_COALESCER_HPP
 
+#include <cstddef>
 #include <vector>
 
 #include "common/types.hpp"
 
 namespace gex::sm {
 
+/**
+ * Coalesce @p n per-lane addresses into @p lines_out (replaced, not
+ * appended): unique, sorted line addresses. The caller owns and reuses
+ * @p lines_out across calls, so steady-state tracing allocates nothing.
+ */
+void coalesceInto(const Addr *lane_addrs, std::size_t n,
+                  std::vector<Addr> &lines_out);
+
 /** Unique, sorted line addresses for a set of per-lane addresses. */
 std::vector<Addr> coalesce(const std::vector<Addr> &lane_addrs);
 
-/** Number of requests @p lane_addrs coalesces to (no allocation). */
-std::size_t coalescedCount(std::vector<Addr> lane_addrs);
+/** Number of requests @p lane_addrs coalesces to (no copy, no heap
+ *  allocation for warp-sized inputs). */
+std::size_t coalescedCount(const std::vector<Addr> &lane_addrs);
 
 } // namespace gex::sm
 

@@ -7,6 +7,8 @@ Lsu::Lsu(const gpu::SmConfig &cfg, MemorySystem &sys)
       xlatePort_(cfg.translationsPerCycle),
       frontendCycles_(cfg.memFrontendCycles)
 {
+    lowerFn_ = [this](Addr p, Cycle t) { return sys_.translatePage(p, t); };
+    l2FetchFn_ = [this](Addr l, Cycle t) { return sys_.l2Load(l, t); };
 }
 
 Cycle
@@ -26,9 +28,7 @@ Lsu::accessForData(const isa::Instruction &inst, Addr line, Cycle earliest)
         return ack;
     }
     // Load through L1; misses fetch from L2 (which fetches from DRAM).
-    return l1_.load(line, earliest, [this](Addr l, Cycle t) {
-        return sys_.l2Load(l, t);
-    });
+    return l1_.load(line, earliest, l2FetchFn_);
 }
 
 MemTimeline
@@ -58,10 +58,7 @@ Lsu::processGlobal(const isa::Instruction &inst, const trace::TraceInst &ti,
         // One coalesced request enters translation per cycle, after
         // the address-calc/coalescing front end.
         Cycle xlate_start = xlatePort_.reserve(front_done + 1);
-        vm::Translation tr = tlb_.translate(page, xlate_start,
-                                            [this](Addr p, Cycle t) {
-                                                return sys_.translatePage(p, t);
-                                            });
+        vm::Translation tr = tlb_.translate(page, xlate_start, lowerFn_);
 
         if (!tr.fault) {
             tl.lastTlbCheck = std::max(tl.lastTlbCheck, tr.ready);

@@ -93,6 +93,10 @@ class Lsu
     MemorySystem &sys_;
     vm::Tlb tlb_;
     mem::Cache l1_;
+    /** Built once: constructing a std::function per access is hot-path
+     *  overhead the translation/L1 loops do not need to pay. */
+    vm::Tlb::LowerFn lowerFn_;
+    mem::Cache::FetchFn l2FetchFn_;
     mem::Port port_;       ///< 1 memory instruction per cycle
     mem::Port xlatePort_;  ///< translations per cycle
     Cycle frontendCycles_; ///< address calc + coalescing queue depth

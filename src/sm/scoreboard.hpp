@@ -34,6 +34,20 @@ class Scoreboard
         pendingWrite_.assign(
             static_cast<size_t>(num_warps) * kNumNames, 0);
         sourceHold_.assign(static_cast<size_t>(num_warps) * kNumNames, 0);
+        gen_.assign(static_cast<size_t>(num_warps), 0);
+    }
+
+    /**
+     * Generation counter: bumped on every tracked acquire/release for
+     * @p warp. While it is unchanged, any canRead/canWrite query on
+     * that warp returns the same answer as before — the issue stage
+     * uses this to skip re-checking a head instruction that already
+     * stalled on an untouched scoreboard.
+     */
+    std::uint64_t
+    gen(int warp) const
+    {
+        return gen_[static_cast<size_t>(warp)];
     }
 
     /** Scoreboard name for a GPR; -1 when untracked (RZ). */
@@ -67,8 +81,10 @@ class Scoreboard
     void
     acquireWrite(int warp, int name)
     {
-        if (name >= 0)
+        if (name >= 0) {
             ++at(pendingWrite_, warp, name);
+            ++gen_[static_cast<size_t>(warp)];
+        }
     }
 
     void
@@ -78,14 +94,17 @@ class Scoreboard
             auto &c = at(pendingWrite_, warp, name);
             GEX_ASSERT(c > 0, "releaseWrite underflow");
             --c;
+            ++gen_[static_cast<size_t>(warp)];
         }
     }
 
     void
     acquireSource(int warp, int name)
     {
-        if (name >= 0)
+        if (name >= 0) {
             ++at(sourceHold_, warp, name);
+            ++gen_[static_cast<size_t>(warp)];
+        }
     }
 
     void
@@ -95,6 +114,7 @@ class Scoreboard
             auto &c = at(sourceHold_, warp, name);
             GEX_ASSERT(c > 0, "releaseSource underflow");
             --c;
+            ++gen_[static_cast<size_t>(warp)];
         }
     }
 
@@ -117,6 +137,7 @@ class Scoreboard
 
     std::vector<std::uint16_t> pendingWrite_;
     std::vector<std::uint16_t> sourceHold_;
+    std::vector<std::uint64_t> gen_;
 };
 
 } // namespace gex::sm

@@ -20,6 +20,20 @@ Sm::Sm(int id, const gpu::GpuConfig &cfg, MemorySystem &sys,
 {
     sb_.init(cfg.sm.maxWarps);
     warps_.resize(static_cast<size_t>(cfg.sm.maxWarps));
+    fetchBlocked_.assign(static_cast<size_t>(cfg.sm.maxWarps), 0);
+    issueStalled_.assign(static_cast<size_t>(cfg.sm.maxWarps), 0);
+    // Pre-size the event heap from the config-derived in-flight bound:
+    // each in-flight instruction carries at most three live events
+    // (source release, last check, commit) and in-flight work per warp
+    // is capped by the instruction buffer plus the LSU queue.
+    std::vector<Event> backing;
+    backing.reserve(static_cast<std::size_t>(cfg.sm.maxWarps) * 3 *
+                    static_cast<std::size_t>(cfg.sm.instBufferDepth +
+                                             cfg.sm.lsuQueueDepth));
+    events_ = decltype(events_)(std::greater<>(), std::move(backing));
+    pool_.reserve(static_cast<std::size_t>(cfg.sm.maxWarps) *
+                  static_cast<std::size_t>(cfg.sm.instBufferDepth +
+                                           cfg.sm.lsuQueueDepth));
 }
 
 void
@@ -28,9 +42,12 @@ Sm::beginKernel(const LaunchInfo &li)
     li_ = li;
     GEX_ASSERT(li.blocksPerSm > 0);
     GEX_ASSERT(li.blocksPerSm * li.warpsPerBlock <= cfg_.sm.maxWarps);
+    activeWarps_ = li.blocksPerSm * li.warpsPerBlock;
     slots_.assign(static_cast<size_t>(li.blocksPerSm), TbSlot{});
     for (auto &w : warps_)
         w = WarpRt{};
+    std::fill(fetchBlocked_.begin(), fetchBlocked_.end(), 0);
+    std::fill(issueStalled_.begin(), issueStalled_.end(), 0);
     offchip_.clear();
     extraBlocksBrought_ = 0;
     slotRetryAt_ = kNoCycle;
@@ -87,6 +104,7 @@ Sm::installBlock(int slot, const trace::BlockTrace *bt, Cycle now,
     for (int j = 0; j < ts.numWarps; ++j) {
         WarpRt &w = warps_[static_cast<size_t>(ts.firstWarp + j)];
         w = WarpRt{};
+        wakeWarp(ts.firstWarp + j);
         w.slot = slot;
         w.tr = &bt->warps[static_cast<size_t>(j)];
         if (restore_from) {
@@ -197,6 +215,7 @@ Sm::processEvents(Cycle now)
                 if (si.op == Opcode::PSETP)
                     sb_.releaseSource(in.warp, Scoreboard::predName(si.predB));
                 in.sourcesHeld = false;
+                wakeWarp(in.warp);
             }
             retireEventRef(ev.id);
             break;
@@ -238,6 +257,7 @@ Sm::processEvents(Cycle now)
             WarpRt &wr = warps_[static_cast<size_t>(in.warp)];
             if (wr.slot >= 0) {
                 wr.faultBlocked = true;
+                wakeWarp(in.warp);
                 wr.blockedUntil =
                     std::max(wr.blockedUntil, now + cfg_.trapHandlerCycles);
                 scheduleEvent(wr.blockedUntil, EvKind::WarpResume, in.warp,
@@ -292,6 +312,7 @@ Sm::processEvents(Cycle now)
                 sv.waitingBarrier = w.waitingBarrier;
                 sv.finished = w.finished;
                 w = WarpRt{};
+                wakeWarp(ts.firstWarp + j);
             }
             offchip_.push_back(std::move(ob));
             ts = TbSlot{};
@@ -327,21 +348,42 @@ Sm::doFetch(Cycle now)
 {
     // One instruction line (fetchWidth instructions) from one warp per
     // cycle (paper section 2.1). Fetch-disabling instructions stop the
-    // line mid-way.
-    const int n = static_cast<int>(warps_.size());
+    // line mid-way. Only the warps the kernel populated are scanned —
+    // slots past activeWarps_ can never fetch, and skipping them keeps
+    // the visit order over the live warps identical.
+    const int n = activeWarps_;
     const bool greedy =
         cfg_.sm.schedPolicy == gpu::SchedPolicy::GreedyThenOldest;
+    // GTO's oldest-first scan at full width visited indices
+    // 0..maxWarps-2 after the sticky warp; mirror that bound.
+    const int scan =
+        greedy ? std::min(n, static_cast<int>(warps_.size()) - 1) + 1 : n;
+    // LRR successor of the last fetching warp, tracked incrementally —
+    // a divide per scanned warp is measurable at this call rate.
+    int lrr = std::min(rrFetch_, n - 1) + 1;
+    if (lrr == n)
+        lrr = 0;
     for (int lines = 0, i = 0;
-         i < n && lines < cfg_.sm.fetchPerCycle; ++i) {
+         i < scan && lines < cfg_.sm.fetchPerCycle; ++i) {
         // LRR rotates the start; GTO retries the last warp, then
         // scans from the oldest (lowest slot).
-        int w = greedy ? (i == 0 ? rrFetch_ : i - 1)
-                       : (rrFetch_ + 1 + i) % n;
-        if (greedy && i > 0 && w == rrFetch_)
-            continue;
+        int w;
+        if (greedy) {
+            w = i == 0 ? rrFetch_ : i - 1;
+            if (i > 0 && w == rrFetch_)
+                continue;
+        } else {
+            w = lrr;
+            if (++lrr == n)
+                lrr = 0;
+        }
+        if (fetchBlocked_[static_cast<size_t>(w)])
+            continue; // still blocked on unchanged state — see fetchBlocked_
         WarpRt &wr = warps_[static_cast<size_t>(w)];
-        if (!wr.schedulable())
+        if (!wr.schedulable()) {
+            fetchBlocked_[static_cast<size_t>(w)] = 1;
             continue;
+        }
 
         int fetched_from_warp = 0;
         while (fetched_from_warp < cfg_.sm.fetchWidth) {
@@ -379,6 +421,17 @@ Sm::doFetch(Cycle now)
         if (fetched_from_warp > 0) {
             ++lines;
             rrFetch_ = w;
+        } else {
+            // Mark state-blocked warps so later scans skip them after
+            // one byte read; a wait on fetchResumeAt is the only purely
+            // time-based reason and must keep the warp scannable.
+            const bool time_blocked =
+                static_cast<int>(wr.ibuf.size()) <
+                    cfg_.sm.instBufferDepth &&
+                wr.controlPending == 0 && !wr.wdFetchDisable &&
+                now < wr.fetchResumeAt;
+            if (!time_blocked)
+                fetchBlocked_[static_cast<size_t>(w)] = 1;
         }
     }
 }
@@ -389,21 +442,53 @@ Sm::doFetch(Cycle now)
 void
 Sm::doIssue(Cycle now)
 {
-    const int n = static_cast<int>(warps_.size());
+    // Same live-warp scan bound (and divide-free rotation) as doFetch.
+    const int n = activeWarps_;
     const bool greedy =
         cfg_.sm.schedPolicy == gpu::SchedPolicy::GreedyThenOldest;
+    const int scan =
+        greedy ? std::min(n, static_cast<int>(warps_.size()) - 1) + 1 : n;
+    int lrr = std::min(rrIssue_, n - 1) + 1;
+    if (lrr == n)
+        lrr = 0;
     int total = 0;
     int warps_used = 0;
     int last_issued = rrIssue_;
-    for (int i = 0; i < n && total < cfg_.sm.issueWidth && warps_used < 2;
-         ++i) {
-        int w = greedy ? (i == 0 ? rrIssue_ : i - 1)
-                       : (rrIssue_ + 1 + i) % n;
-        if (greedy && i > 0 && w == rrIssue_)
+    for (int i = 0;
+         i < scan && total < cfg_.sm.issueWidth && warps_used < 2; ++i) {
+        int w;
+        if (greedy) {
+            w = i == 0 ? rrIssue_ : i - 1;
+            if (i > 0 && w == rrIssue_)
+                continue;
+        } else {
+            w = lrr;
+            if (++lrr == n)
+                lrr = 0;
+        }
+        // Byte-gate: a warp whose head is known-stalled on an
+        // untouched scoreboard re-registers the stall (exactly one
+        // increment, as a full rescan would) off one byte read.
+        if (issueStalled_[static_cast<size_t>(w)]) {
+            ++stallScoreboard_;
             continue;
+        }
+        // Cheap per-warp gates run inline; the full decode + check in
+        // tryIssueHead only runs for warps that might actually issue.
         int k = 0;
-        while (k < cfg_.sm.maxIssuePerWarp && total < cfg_.sm.issueWidth &&
-               tryIssueHead(w, now)) {
+        WarpRt &wr = warps_[static_cast<size_t>(w)];
+        while (k < cfg_.sm.maxIssuePerWarp && total < cfg_.sm.issueWidth) {
+            if (!wr.schedulable() || wr.ibuf.empty() ||
+                wr.ibuf.front().readyAt > now)
+                break;
+            if (wr.ibuf.front().idx == wr.sbStallIdx &&
+                sb_.gen(w) == wr.sbStallGen) {
+                issueStalled_[static_cast<size_t>(w)] = 1;
+                ++stallScoreboard_;
+                break;
+            }
+            if (!tryIssueHead(w, now))
+                break;
             ++k;
             ++total;
         }
@@ -425,40 +510,56 @@ Sm::tryIssueHead(int w, Cycle now)
         return false;
 
     const std::uint32_t idx = wr.ibuf.front().idx;
+    // Stall memo: this head already failed the scoreboard checks and
+    // no scoreboard entry of this warp changed since, so the same
+    // checks would fail again — register the stall without re-decoding.
+    if (idx == wr.sbStallIdx && sb_.gen(w) == wr.sbStallGen) {
+        ++stallScoreboard_;
+        return false;
+    }
     const trace::TraceInst &ti = wr.tr->insts[idx];
     const Instruction &si = li_.kernel->program.at(ti.staticIdx);
     const auto &t = si.traits();
+
+    // The checks depend only on the instruction and this warp's
+    // scoreboard state, so a failure stays valid until gen(w) moves.
+    auto sb_stall = [&] {
+        wr.sbStallIdx = idx;
+        wr.sbStallGen = sb_.gen(w);
+        issueStalled_[static_cast<size_t>(w)] = 1;
+        ++stallScoreboard_;
+    };
 
     // --- scoreboard checks (RAW on sources, WAW+WAR on destinations) ---
     for (int i = 0; i < t.numSrcs; ++i) {
         if (i == 1 && si.useImm)
             continue;
         if (!sb_.canRead(w, Scoreboard::regName(si.srcs[i]))) {
-            ++stallScoreboard_;
+            sb_stall();
             return false;
         }
     }
     if (!sb_.canRead(w, Scoreboard::predName(si.pred))) {
-        ++stallScoreboard_;
+        sb_stall();
         return false;
     }
     if ((si.op == Opcode::SEL || si.op == Opcode::PSETP) &&
         !sb_.canRead(w, Scoreboard::predName(si.predA))) {
-        ++stallScoreboard_;
+        sb_stall();
         return false;
     }
     if (si.op == Opcode::PSETP &&
         !sb_.canRead(w, Scoreboard::predName(si.predB))) {
-        ++stallScoreboard_;
+        sb_stall();
         return false;
     }
     if (t.writesDst && !sb_.canWrite(w, Scoreboard::regName(si.dst))) {
-        ++stallScoreboard_;
+        sb_stall();
         return false;
     }
     if ((si.op == Opcode::SETP || si.op == Opcode::PSETP) &&
         !sb_.canWrite(w, Scoreboard::predName(si.predDst))) {
-        ++stallScoreboard_;
+        sb_stall();
         return false;
     }
 
@@ -487,6 +588,7 @@ Sm::tryIssueHead(int w, Cycle now)
 
     // --- issue ---
     wr.ibuf.pop_front();
+    wakeWarp(w); // buffer space freed
     const Cycle op_read = now + 1;
 
     std::uint32_t id = allocInflight();
@@ -630,6 +732,7 @@ Sm::onLastCheck(Inflight &in, Cycle now)
         scheduleEvent(wr.fetchResumeAt, EvKind::WarpResume, in.warp,
                       UINT32_MAX);
     }
+    wakeWarp(in.warp);
 }
 
 void
@@ -694,6 +797,7 @@ Sm::onCommit(Inflight &in, Cycle now)
 
     --wr.inflight;
     ++instsCommitted_;
+    wakeWarp(in.warp);
     checkWarpFinished(in.warp, now);
 }
 
@@ -735,6 +839,7 @@ Sm::squash(Inflight &in, Cycle now)
     if (in.isGlobalMem)
         --inflightMem_;
     --wr.inflight;
+    wakeWarp(in.warp);
     in.squashed = true;
 }
 
@@ -743,8 +848,8 @@ Sm::revertIbuf(WarpRt &w)
 {
     if (w.ibuf.empty())
         return;
-    for (const InstBufEntry &e : w.ibuf) {
-        const trace::TraceInst &ti = w.tr->insts[e.idx];
+    for (std::size_t i = 0; i < w.ibuf.size(); ++i) {
+        const trace::TraceInst &ti = w.tr->insts[w.ibuf[i].idx];
         const Instruction &si = li_.kernel->program.at(ti.staticIdx);
         if (si.isControl()) {
             GEX_ASSERT(w.controlPending > 0);
@@ -758,11 +863,10 @@ Sm::revertIbuf(WarpRt &w)
 void
 Sm::insertReplay(WarpRt &w, std::uint32_t trace_idx)
 {
-    auto it = std::lower_bound(w.replayQ.begin(), w.replayQ.end(),
-                               trace_idx);
-    GEX_ASSERT(it == w.replayQ.end() || *it != trace_idx,
+    std::size_t pos = w.replayQ.lowerBound(trace_idx);
+    GEX_ASSERT(pos == w.replayQ.size() || w.replayQ[pos] != trace_idx,
                "instruction already in replay queue");
-    w.replayQ.insert(it, trace_idx);
+    w.replayQ.insert(pos, trace_idx);
 }
 
 void
@@ -807,6 +911,7 @@ Sm::onWarpResume(int w, Cycle now)
     if (wr.slot < 0 || !wr.faultBlocked || now < wr.blockedUntil)
         return; // stale (block switched out, or deadline extended)
     wr.faultBlocked = false;
+    wakeWarp(w);
     didWork_ = true;
 }
 
@@ -838,9 +943,11 @@ Sm::releaseBarrierIfReady(int slot)
     if (waiting == 0)
         return;
     if (waiting + ts.warpsFinished == ts.numWarps) {
-        for (int j = 0; j < ts.numWarps; ++j)
+        for (int j = 0; j < ts.numWarps; ++j) {
             warps_[static_cast<size_t>(ts.firstWarp + j)].waitingBarrier =
                 false;
+            wakeWarp(ts.firstWarp + j);
+        }
         didWork_ = true;
     }
 }
@@ -849,8 +956,10 @@ void
 Sm::finishBlock(int slot, Cycle now)
 {
     TbSlot &ts = slots_[static_cast<size_t>(slot)];
-    for (int j = 0; j < ts.numWarps; ++j)
+    for (int j = 0; j < ts.numWarps; ++j) {
         warps_[static_cast<size_t>(ts.firstWarp + j)] = WarpRt{};
+        wakeWarp(ts.firstWarp + j);
+    }
     ts = TbSlot{};
     ++blocksCompleted_;
     fillEmptySlots(now);
@@ -892,6 +1001,7 @@ Sm::beginDrain(int slot, Cycle now)
     for (int j = 0; j < ts.numWarps; ++j) {
         WarpRt &w = warps_[static_cast<size_t>(ts.firstWarp + j)];
         w.frozen = true;
+        wakeWarp(ts.firstWarp + j);
         revertIbuf(w);
     }
     scheduleEvent(std::max(drainTime(slot), now + 1), EvKind::SaveReady,

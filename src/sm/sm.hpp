@@ -10,10 +10,10 @@
 #ifndef GEX_SM_SM_HPP
 #define GEX_SM_SM_HPP
 
-#include <deque>
 #include <queue>
 #include <vector>
 
+#include "common/ring.hpp"
 #include "func/kernel.hpp"
 #include "gpu/config.hpp"
 #include "sm/exception_model.hpp"
@@ -115,22 +115,38 @@ class Sm
     };
 
     struct WarpRt {
+        // The fields below are everything the fetch/issue scans touch
+        // for a warp that cannot make progress this cycle; they are
+        // kept together (ahead of the rings) so a failing scan reads
+        // one cache line per warp.
         int slot = -1;
-        const trace::WarpTrace *tr = nullptr;
-        std::uint32_t fetchIdx = 0;
-        std::deque<std::uint32_t> replayQ;
-        std::deque<InstBufEntry> ibuf;
         int controlPending = 0;
         bool wdFetchDisable = false;
-        int inflight = 0;
         bool waitingBarrier = false;
         bool exitFetched = false;
         bool exitCommitted = false;
         bool finished = false;
         bool faultBlocked = false;
         bool frozen = false;       ///< TB draining for a context switch
-        Cycle blockedUntil = 0;
+        std::uint32_t fetchIdx = 0;
+        const trace::WarpTrace *tr = nullptr;
         Cycle fetchResumeAt = 0;   ///< wd re-enable pipeline refill
+        /**
+         * Issue-stall memo: the head trace index that last failed the
+         * scoreboard checks and the warp's scoreboard generation at
+         * that moment. While both still match, the same checks would
+         * fail identically, so the issue stage re-registers the stall
+         * without re-decoding the instruction.
+         */
+        std::uint32_t sbStallIdx = UINT32_MAX;
+        std::uint64_t sbStallGen = 0;
+        // Inline ring buffers: the fetch/issue stages scan every warp
+        // every cycle, so the common-case queue state lives inside the
+        // WarpRt itself (no per-entry heap nodes to chase).
+        Ring<InstBufEntry, 4> ibuf;
+        Ring<std::uint32_t, 4> replayQ;
+        int inflight = 0;
+        Cycle blockedUntil = 0;
         Cycle maxCommitScheduled = 0;
 
         bool
@@ -157,7 +173,7 @@ class Sm
 
     struct SavedWarp {
         std::uint32_t fetchIdx = 0;
-        std::deque<std::uint32_t> replayQ;
+        Ring<std::uint32_t, 4> replayQ;
         bool waitingBarrier = false;
         bool finished = false;
     };
@@ -216,7 +232,44 @@ class Sm
     Lsu lsu_;
 
     LaunchInfo li_;
+    /**
+     * Warps actually populated by the current kernel (blocksPerSm ×
+     * warpsPerBlock). The fetch/issue scans rotate over only these;
+     * slots past the count can never become schedulable, and skipping
+     * them preserves the visit order of the live ones exactly.
+     */
+    int activeWarps_ = 0;
     std::vector<WarpRt> warps_;
+    /**
+     * Fetch gate cache, one byte per warp: 1 means the last fetch scan
+     * found the warp blocked for a *state* reason (buffer full, pending
+     * control, fetch-disable, trace drained, unschedulable) — nothing
+     * time-based. Until some event mutates the warp (wakeFetch), a
+     * rescan would reproduce the same result, so doFetch skips the
+     * warp after one byte read instead of touching its WarpRt. Warps
+     * blocked only on fetchResumeAt are never marked (time unblocks
+     * them without an accompanying state change). Skipped scans have
+     * no side effects (no counters, no didWork), so this is invisible
+     * to simulation results.
+     */
+    std::vector<std::uint8_t> fetchBlocked_;
+    /**
+     * Issue gate cache, one byte per warp: 1 means the warp is
+     * schedulable, its ibuf head has passed its ready cycle, and that
+     * head already failed the scoreboard checks with no scoreboard
+     * change since. A rescan would fail the same way with exactly one
+     * stallScoreboard_ increment, so the issue scan performs just that
+     * increment off one byte read. Any event that could change the
+     * warp's schedulability, ibuf head, or scoreboard state clears the
+     * byte (wakeWarp) and the next scan re-runs the full checks.
+     */
+    std::vector<std::uint8_t> issueStalled_;
+    void
+    wakeWarp(int w)
+    {
+        fetchBlocked_[static_cast<std::size_t>(w)] = 0;
+        issueStalled_[static_cast<std::size_t>(w)] = 0;
+    }
     std::vector<TbSlot> slots_;
     std::vector<OffchipBlock> offchip_;
     std::vector<OffchipBlock> restorePending_;

@@ -18,8 +18,7 @@ PageDirectory::setRange(Addr base, std::uint64_t bytes, RegionState st)
 const PageDirectory::Entry *
 PageDirectory::lookup(Addr addr) const
 {
-    auto it = regions_.find(regionOf(addr));
-    return it == regions_.end() ? nullptr : &it->second;
+    return regions_.find(regionOf(addr));
 }
 
 RegionState
@@ -29,9 +28,10 @@ PageDirectory::stateAt(Addr addr, Cycle now) const
     if (!e)
         return RegionState::GpuResident;
     if (e->state == RegionState::Pending && now >= e->readyAt) {
-        // Lazy transition: the fault resolved in the past.
-        auto &me = regions_[regionOf(addr)];
-        me.state = RegionState::GpuResident;
+        // Lazy transition: the fault resolved in the past. lookup()
+        // returned a live slot, so casting away const mutates in place
+        // (the map itself is not restructured).
+        const_cast<Entry *>(e)->state = RegionState::GpuResident;
         return RegionState::GpuResident;
     }
     return e->state;
@@ -56,9 +56,10 @@ std::uint64_t
 PageDirectory::residentRegions() const
 {
     std::uint64_t n = 0;
-    for (const auto &kv : regions_)
-        if (kv.second.state == RegionState::GpuResident)
+    regions_.forEach([&n](Addr, const Entry &e) {
+        if (e.state == RegionState::GpuResident)
             ++n;
+    });
     return n;
 }
 

@@ -9,8 +9,8 @@
 #define GEX_VM_PAGE_TABLE_HPP
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -71,7 +71,7 @@ class PageDirectory
     const Entry *lookup(Addr addr) const;
 
     Addr regionBytes_;
-    mutable std::unordered_map<Addr, Entry> regions_;
+    mutable FlatMap<Entry> regions_;
 };
 
 } // namespace gex::vm

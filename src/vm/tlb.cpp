@@ -9,6 +9,9 @@ Tlb::Tlb(const TlbConfig &cfg)
       ways_(static_cast<size_t>(cfg.entries))
 {
     GEX_ASSERT(numSets_ > 0, "TLB %s too small", cfg.name.c_str());
+    // drainPending() trims at missQueue * 4 entries; sizing for that
+    // bound keeps the miss path allocation-free.
+    pending_.reserve(cfg.missQueue * 4);
 }
 
 int
@@ -39,12 +42,8 @@ Tlb::drainPending(Cycle now)
     // Lazy cleanup keeps the map bounded by in-flight misses.
     if (pending_.size() < cfg_.missQueue * 4)
         return;
-    for (auto it = pending_.begin(); it != pending_.end();) {
-        if (it->second.expires <= now)
-            it = pending_.erase(it);
-        else
-            ++it;
-    }
+    pending_.eraseIf(
+        [now](Addr, const PendingMiss &m) { return m.expires <= now; });
 }
 
 Translation
@@ -54,10 +53,10 @@ Tlb::translate(Addr page, Cycle now, const LowerFn &lower)
     int way = findWay(set, page);
     // PTEs are installed when the fill is issued; accesses to a page
     // whose fill (or fault) is still in flight merge into it.
-    auto it = pending_.find(page);
-    if (it != pending_.end() && it->second.expires > now) {
+    const PendingMiss *pm = pending_.find(page);
+    if (pm && pm->expires > now) {
         ++merges_;
-        Translation t = it->second.result;
+        Translation t = pm->result;
         if (t.fault) {
             t.kind = FaultKind::Joined;
         } else if (t.ready < now + cfg_.latency) {

@@ -10,9 +10,9 @@
 
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -92,7 +92,7 @@ class Tlb
         Translation result;
         Cycle expires;
     };
-    std::unordered_map<Addr, PendingMiss> pending_;
+    FlatMap<PendingMiss> pending_;
 
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Golden end-to-end results: a grid of (workload, scheme, paging
+ * policy, block switching) points with the exact cycle count,
+ * instruction count and a digest over EVERY exported statistic,
+ * captured before the hot-path container overhaul (flat maps, ring
+ * buffers, scan gating). Performance work on the timing loop must be
+ * behavior-neutral; any change to any stat on any point fails here.
+ *
+ * To regenerate after an *intentional* behavior change, print the new
+ * table with the digest below (FNV-1a over the sorted scalars' names
+ * and raw double bits) and review every moved point.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "gex.hpp"
+
+namespace gex {
+namespace {
+
+std::uint64_t
+digestStats(const gpu::SimResult &r)
+{
+    // FNV-1a 64-bit over each scalar's name bytes then its raw value
+    // bits, in the StatSet's sorted order. Bit-exact by construction.
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](const void *p, std::size_t n) {
+        const auto *b = static_cast<const unsigned char *>(p);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= b[i];
+            h *= 1099511628211ull;
+        }
+    };
+    for (const auto &kv : r.stats.scalars()) {
+        mix(kv.first.data(), kv.first.size());
+        double v = kv.second;
+        mix(&v, sizeof v);
+    }
+    return h;
+}
+
+vm::VmPolicy
+policyByName(const std::string &p)
+{
+    if (p == "all-resident")
+        return vm::VmPolicy::allResident();
+    if (p == "demand-paging")
+        return vm::VmPolicy::demandPaging();
+    if (p == "output-local")
+        return vm::VmPolicy::outputFaults(true);
+    if (p == "output-cpu")
+        return vm::VmPolicy::outputFaults(false);
+    if (p == "heap-local")
+        return vm::VmPolicy::heapFaults(true);
+    ADD_FAILURE() << "unknown policy " << p;
+    return vm::VmPolicy::allResident();
+}
+
+struct GoldenPoint {
+    const char *workload;
+    const char *scheme;
+    const char *policy;
+    bool blockSwitching;
+    std::uint64_t cycles;
+    std::uint64_t instructions;
+    std::uint64_t statsDigest;
+};
+
+// Captured at the pre-overhaul baseline (std::unordered_map /
+// std::deque containers, full-width warp scans). Covers every
+// exception scheme fault-free, demand paging, block switching (the
+// saved-warp context path), local/CPU output faults and the GPU-local
+// heap handler.
+const GoldenPoint kGolden[] = {
+    {"bfs", "baseline", "all-resident", false,
+     15338ull, 50994ull, 0x1935f1c9fb129810ull},
+    {"bfs", "wd-commit", "all-resident", false,
+     15967ull, 50994ull, 0x7b993b39894332bbull},
+    {"bfs", "wd-lastcheck", "all-resident", false,
+     15499ull, 50994ull, 0xd5757877af1736c5ull},
+    {"bfs", "replay-queue", "all-resident", false,
+     15468ull, 50994ull, 0x360532fe14697848ull},
+    {"bfs", "operand-log", "all-resident", false,
+     15989ull, 50994ull, 0x98748b7a4f332beeull},
+    {"spmv", "baseline", "all-resident", false,
+     261971ull, 135892ull, 0xdcdf28d380e734e7ull},
+    {"spmv", "replay-queue", "all-resident", false,
+     262261ull, 135892ull, 0x4c64c8a25f6bc9bcull},
+    {"spmv", "operand-log", "all-resident", false,
+     264751ull, 135892ull, 0xec4ac5b7893bc2cdull},
+    {"lbm", "wd-lastcheck", "all-resident", false,
+     49762ull, 116736ull, 0x9da746263d97ce5eull},
+    {"sgemm", "replay-queue", "all-resident", false,
+     19441ull, 287232ull, 0x11e3def4164c7b8cull},
+    {"bfs", "baseline", "demand-paging", false,
+     155021ull, 50994ull, 0x823563883bca5143ull},
+    {"bfs", "replay-queue", "demand-paging", false,
+     146874ull, 50994ull, 0xe73334ce5390b7d2ull},
+    {"bfs", "replay-queue", "demand-paging", true,
+     146874ull, 50994ull, 0xe73334ce5390b7d2ull},
+    {"spmv", "operand-log", "demand-paging", true,
+     705846ull, 135892ull, 0x09cc3b7b543a7c3aull},
+    {"stencil", "replay-queue", "output-local", false,
+     411997ull, 176640ull, 0x3ce98445f903fd70ull},
+    {"stencil", "replay-queue", "output-cpu", false,
+     270677ull, 176640ull, 0xd22b5e468ee3e491ull},
+    {"ha-prob", "operand-log", "heap-local", false,
+     71499ull, 32064ull, 0x08650c7ab646df8eull},
+    {"quad-tree", "replay-queue", "heap-local", false,
+     83974ull, 21120ull, 0xc8131dbf0bfd37daull},
+};
+
+TEST(GoldenStats, EveryPointBitIdenticalToCapturedBaseline)
+{
+    harness::TraceCache cache; // share each workload's trace across points
+    for (const GoldenPoint &pt : kGolden) {
+        SCOPED_TRACE(std::string(pt.workload) + "/" + pt.scheme + "/" +
+                     pt.policy + (pt.blockSwitching ? "/bs" : ""));
+        const harness::TracedWorkload &tw = cache.get(pt.workload);
+        gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+        cfg.scheme = gpu::schemeFromName(pt.scheme);
+        cfg.blockSwitching = pt.blockSwitching;
+        gpu::Gpu g(cfg);
+        gpu::SimResult r =
+            g.run(tw.kernel, tw.trace, policyByName(pt.policy));
+        EXPECT_EQ(static_cast<std::uint64_t>(r.cycles), pt.cycles);
+        EXPECT_EQ(r.instructions, pt.instructions);
+        EXPECT_EQ(digestStats(r), pt.statsDigest)
+            << "a statistic changed value — the timing refactor is no "
+               "longer behavior-neutral";
+    }
+}
+
+} // namespace
+} // namespace gex

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Ring unit tests: FIFO semantics, inline-to-heap growth, insert and
+ * lowerBound (the replay-queue operations), copy/move, and a
+ * randomized differential check against std::deque (the container it
+ * replaced in the SM's per-warp state).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <random>
+#include <utility>
+
+#include "common/ring.hpp"
+
+namespace gex {
+namespace {
+
+TEST(Ring, StartsEmptyInline)
+{
+    Ring<std::uint32_t, 4> r;
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.size(), 0u);
+    EXPECT_EQ(r.capacity(), 4u);
+    EXPECT_FALSE(r.onHeap());
+}
+
+TEST(Ring, FifoOrder)
+{
+    Ring<std::uint32_t, 4> r;
+    for (std::uint32_t i = 0; i < 4; ++i)
+        r.push_back(i);
+    EXPECT_EQ(r.front(), 0u);
+    EXPECT_EQ(r.back(), 3u);
+    r.pop_front();
+    EXPECT_EQ(r.front(), 1u);
+    r.push_back(4); // wraps within the inline buffer
+    EXPECT_FALSE(r.onHeap());
+    for (std::uint32_t expect = 1; expect <= 4; ++expect) {
+        EXPECT_EQ(r.front(), expect);
+        r.pop_front();
+    }
+    EXPECT_TRUE(r.empty());
+}
+
+TEST(Ring, GrowsToHeapPreservingOrder)
+{
+    Ring<std::uint32_t, 4> r;
+    // Stagger pushes and pops so head_ is nonzero when growth happens.
+    r.push_back(100);
+    r.push_back(101);
+    r.pop_front();
+    for (std::uint32_t i = 0; i < 40; ++i)
+        r.push_back(i);
+    EXPECT_TRUE(r.onHeap());
+    EXPECT_EQ(r.size(), 41u);
+    EXPECT_EQ(r.front(), 101u);
+    EXPECT_EQ(r[1], 0u);
+    EXPECT_EQ(r.back(), 39u);
+}
+
+TEST(Ring, PopBack)
+{
+    Ring<int, 4> r;
+    r.push_back(1);
+    r.push_back(2);
+    r.pop_back();
+    EXPECT_EQ(r.back(), 1);
+    EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Ring, ClearKeepsStorage)
+{
+    Ring<int, 4> r;
+    for (int i = 0; i < 100; ++i)
+        r.push_back(i);
+    EXPECT_TRUE(r.onHeap());
+    std::size_t cap = r.capacity();
+    r.clear();
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.capacity(), cap);
+}
+
+TEST(Ring, InsertShiftsTail)
+{
+    Ring<std::uint32_t, 4> r;
+    r.push_back(10);
+    r.push_back(30);
+    r.insert(1, 20);
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_EQ(r[0], 10u);
+    EXPECT_EQ(r[1], 20u);
+    EXPECT_EQ(r[2], 30u);
+    r.insert(0, 5);
+    r.insert(4, 40);
+    EXPECT_EQ(r[0], 5u);
+    EXPECT_EQ(r.back(), 40u);
+}
+
+TEST(Ring, LowerBoundOnSortedContents)
+{
+    Ring<std::uint32_t, 4> r;
+    for (std::uint32_t v : {10u, 20u, 30u, 40u, 50u})
+        r.push_back(v);
+    EXPECT_EQ(r.lowerBound(5), 0u);
+    EXPECT_EQ(r.lowerBound(10), 0u);
+    EXPECT_EQ(r.lowerBound(11), 1u);
+    EXPECT_EQ(r.lowerBound(30), 2u);
+    EXPECT_EQ(r.lowerBound(50), 4u);
+    EXPECT_EQ(r.lowerBound(51), 5u);
+}
+
+TEST(Ring, SortedInsertViaLowerBound)
+{
+    // The replay-queue pattern: insert each value at its lowerBound,
+    // contents stay sorted.
+    Ring<std::uint32_t, 4> r;
+    std::mt19937 rng(42);
+    for (int i = 0; i < 200; ++i) {
+        std::uint32_t v = rng() % 1000;
+        std::size_t pos = r.lowerBound(v);
+        r.insert(pos, v);
+    }
+    for (std::size_t i = 1; i < r.size(); ++i)
+        EXPECT_LE(r[i - 1], r[i]);
+}
+
+TEST(Ring, CopyAndMove)
+{
+    Ring<std::uint32_t, 4> a;
+    for (std::uint32_t i = 0; i < 10; ++i)
+        a.push_back(i);
+    a.pop_front();
+
+    Ring<std::uint32_t, 4> b(a); // copy keeps contents independent
+    ASSERT_EQ(b.size(), 9u);
+    for (std::uint32_t i = 0; i < 9; ++i)
+        EXPECT_EQ(b[i], i + 1);
+    a.pop_front();
+    EXPECT_EQ(b.front(), 1u);
+
+    Ring<std::uint32_t, 4> c(std::move(b)); // move steals the heap buffer
+    ASSERT_EQ(c.size(), 9u);
+    EXPECT_EQ(c.front(), 1u);
+    EXPECT_TRUE(b.empty()); // NOLINT(bugprone-use-after-move): spec'd empty
+
+    Ring<std::uint32_t, 4> d;
+    d.push_back(99);
+    d = c; // copy-assign over existing contents
+    ASSERT_EQ(d.size(), 9u);
+    EXPECT_EQ(d.front(), 1u);
+
+    Ring<std::uint32_t, 4> e;
+    e = std::move(c);
+    ASSERT_EQ(e.size(), 9u);
+    EXPECT_EQ(e.back(), 9u);
+
+    // Inline-path move: small ring stays inline after the move.
+    Ring<std::uint32_t, 4> f;
+    f.push_back(7);
+    Ring<std::uint32_t, 4> g(std::move(f));
+    EXPECT_FALSE(g.onHeap());
+    ASSERT_EQ(g.size(), 1u);
+    EXPECT_EQ(g.front(), 7u);
+}
+
+TEST(Ring, RandomizedDifferentialAgainstDeque)
+{
+    // Same operation stream against Ring and std::deque; observable
+    // state must match at every step. Mirrors how the SM uses the
+    // ring: FIFO push/pop with occasional sorted insert and clear.
+    std::mt19937_64 rng(0xBADC0DEu);
+    Ring<std::uint32_t, 4> r;
+    std::deque<std::uint32_t> ref;
+
+    for (int step = 0; step < 100'000; ++step) {
+        switch (rng() % 8) {
+          case 0: case 1: case 2: { // push_back
+            auto v = static_cast<std::uint32_t>(rng());
+            r.push_back(v);
+            ref.push_back(v);
+            break;
+          }
+          case 3: case 4: { // pop_front
+            if (!ref.empty()) {
+                EXPECT_EQ(r.front(), ref.front());
+                r.pop_front();
+                ref.pop_front();
+            }
+            break;
+          }
+          case 5: { // pop_back
+            if (!ref.empty()) {
+                EXPECT_EQ(r.back(), ref.back());
+                r.pop_back();
+                ref.pop_back();
+            }
+            break;
+          }
+          case 6: { // insert at random position
+            auto v = static_cast<std::uint32_t>(rng());
+            std::size_t pos = ref.empty() ? 0 : rng() % (ref.size() + 1);
+            r.insert(pos, v);
+            ref.insert(ref.begin() + static_cast<std::ptrdiff_t>(pos), v);
+            break;
+          }
+          case 7: { // rare clear, occasional copy round-trip
+            if (rng() % 100 == 0) {
+                r.clear();
+                ref.clear();
+            } else if (rng() % 100 == 1) {
+                Ring<std::uint32_t, 4> copy(r);
+                r = copy;
+            }
+            break;
+          }
+        }
+        ASSERT_EQ(r.size(), ref.size());
+        if (!ref.empty()) {
+            EXPECT_EQ(r.front(), ref.front());
+            EXPECT_EQ(r.back(), ref.back());
+            std::size_t probe = rng() % ref.size();
+            EXPECT_EQ(r[probe], ref[probe]);
+        }
+    }
+    for (std::size_t i = 0; i < ref.size(); ++i)
+        EXPECT_EQ(r[i], ref[i]);
+}
+
+} // namespace
+} // namespace gex
