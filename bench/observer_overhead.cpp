@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Microbenchmark: cost of the pipeline observer layer. Three
+ * configurations of the same small timing run — no observer (the
+ * default null-check-only path), a counting observer (the virtual-call
+ * floor), and the Chrome-trace writer (event construction + storage).
+ * The first must be indistinguishable from the pre-observer simulator;
+ * the gap between the others is the price of tracing when it is on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "func/functional_sim.hpp"
+#include "gpu/gpu.hpp"
+#include "kasm/builder.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/observer.hpp"
+
+using namespace gex;
+
+namespace {
+
+struct Built {
+    func::GlobalMemory mem;
+    func::Kernel kernel;
+    trace::KernelTrace trace;
+};
+
+/** A small but real run: 8 blocks of a load/compute/store kernel. */
+const Built &
+built()
+{
+    static Built *bt = [] {
+        auto *b = new Built;
+        kasm::KernelBuilder kb("obsbench");
+        kb.setNumParams(2);
+        kb.s2r(0, isa::SpecialReg::GlobalTid);
+        kb.ldparam(1, 0);
+        kb.ldparam(2, 1);
+        kb.shli(3, 0, 3);
+        kb.iadd(1, 1, 3);
+        kb.iadd(2, 2, 3);
+        kb.ldGlobal(4, 1);
+        kb.faddi(4, 4, 1.0);
+        kb.stGlobal(2, 0, 4);
+        kb.exit();
+        b->kernel.program = kb.build();
+        b->kernel.grid = {8, 1, 1};
+        b->kernel.block = {256, 1, 1};
+        constexpr Addr in = 1 << 20, out = 2 << 20;
+        b->kernel.params = {in, out};
+        for (std::uint64_t i = 0; i < 8 * 256; ++i)
+            b->mem.writeF64(in + i * 8, 1.0);
+        func::FunctionalSim fsim(b->mem);
+        b->trace = fsim.run(b->kernel);
+        return b;
+    }();
+    return *bt;
+}
+
+class CountingObserver : public obs::PipelineObserver
+{
+  public:
+    void
+    event(const obs::PipeEvent &e) override
+    {
+        count_ += 1 + static_cast<std::uint64_t>(e.kind);
+    }
+
+    std::uint64_t count_ = 0;
+};
+
+Cycle
+runOnce(obs::PipelineObserver *o)
+{
+    const Built &bt = built();
+    gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+    cfg.scheme = gpu::Scheme::ReplayQueue;
+    gpu::Gpu g(cfg);
+    if (o)
+        g.setObserver(o);
+    return g.run(bt.kernel, bt.trace).cycles;
+}
+
+} // namespace
+
+static void
+BM_TimingRunNoObserver(benchmark::State &state)
+{
+    built();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(runOnce(nullptr));
+}
+BENCHMARK(BM_TimingRunNoObserver);
+
+static void
+BM_TimingRunCountingObserver(benchmark::State &state)
+{
+    built();
+    for (auto _ : state) {
+        CountingObserver counter;
+        benchmark::DoNotOptimize(runOnce(&counter));
+        benchmark::DoNotOptimize(counter.count_);
+    }
+}
+BENCHMARK(BM_TimingRunCountingObserver);
+
+static void
+BM_TimingRunChromeTrace(benchmark::State &state)
+{
+    built();
+    for (auto _ : state) {
+        obs::ChromeTraceWriter writer;
+        benchmark::DoNotOptimize(runOnce(&writer));
+        benchmark::DoNotOptimize(writer.eventCount());
+    }
+}
+BENCHMARK(BM_TimingRunChromeTrace);
+
+BENCHMARK_MAIN();

@@ -7,24 +7,49 @@
  *     C: R8 <- ld [R4]
  *     D: R4 <- add R7, 8     (WAR on R4 with C)
  *
- * executed by a single warp under each pipeline organization. The
- * total completion time ordering shows each scheme's cost: the
- * baseline and the operand log overlap everything; the replay queue
- * delays D (source release of C at the last TLB check); warp-disable
- * serializes the loads against younger instructions.
+ * executed by a single warp under each pipeline organization — drawn
+ * from the pipeline observer's event stream rather than guessed from
+ * totals. For every scheme the issue→commit interval of each
+ * instruction is printed as a diagram row, so the figures' structure
+ * is directly visible: the baseline and the operand log overlap
+ * everything; the replay queue delays D (source release of C at the
+ * last TLB check); warp-disable serializes the loads against younger
+ * instructions.
  *
- *     ./examples/pipeline_diagrams
+ *     ./examples/pipeline_diagrams [--events]
+ *
+ * With --events, the raw event table (obs::PipelineView) of the
+ * wd-lastcheck run is printed as well: fetch-disable at each load,
+ * re-enable at its last TLB check.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <iostream>
 
 #include "gex.hpp"
 
 using namespace gex;
 
+namespace {
+
+/** Issue/commit cycles of one instruction, from the event stream. */
+struct Lifetime {
+    Cycle issued = 0;
+    Cycle committed = 0;
+    bool seen = false;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
+    bool show_events = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--events") == 0)
+            show_events = true;
+
     kasm::KernelBuilder b("fig3");
     b.setNumParams(1);
     b.ldparam(2, 0);     // R2 = buffer
@@ -47,10 +72,15 @@ main()
     func::FunctionalSim fsim(mem);
     trace::KernelTrace tr = fsim.run(k);
 
+    // Trace indices of the paper's four instructions (after the four
+    // setup instructions above).
+    const std::uint32_t first = 4;
+    const char *labels = "ABCD";
+
     std::printf("paper Figures 3/4/6/7 example: A=ld, B=sub, C=ld (WAR "
                 "source of D), D=add\n");
-    std::printf("one warp, one SM; completion cycle of the whole "
-                "sequence under each pipeline:\n\n");
+    std::printf("one warp, one SM; issue->commit of each instruction "
+                "under each pipeline:\n\n");
 
     Cycle base = 0;
     struct Row {
@@ -72,15 +102,54 @@ main()
         gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
         cfg.scheme = row.s;
         gpu::Gpu g(cfg);
+        obs::RecordingObserver rec;
+        g.setObserver(&rec);
         auto r = g.run(k, tr);
         if (row.s == gpu::Scheme::StallOnFault)
             base = r.cycles;
+
+        Lifetime life[4];
+        for (const auto &e : rec.events) {
+            if (e.traceIdx < first || e.traceIdx >= first + 4)
+                continue;
+            Lifetime &l = life[e.traceIdx - first];
+            if (e.kind == obs::PipeEventKind::Issued) {
+                l.issued = e.cycle;
+                l.seen = true;
+            } else if (e.kind == obs::PipeEventKind::Committed) {
+                l.committed = e.cycle;
+            }
+        }
+
         std::printf("  %-14s %5llu cycles (+%3lld)   %s\n",
                     gpu::schemeName(row.s),
                     static_cast<unsigned long long>(r.cycles),
                     static_cast<long long>(r.cycles) -
                         static_cast<long long>(base),
                     row.note);
+        for (int i = 0; i < 4; ++i) {
+            if (!life[i].seen)
+                continue;
+            std::printf("      %c: issue @%3llu  commit @%3llu\n",
+                        labels[i],
+                        static_cast<unsigned long long>(life[i].issued),
+                        static_cast<unsigned long long>(
+                            life[i].committed));
+        }
+    }
+
+    if (show_events) {
+        std::printf("\n--- wd-lastcheck event stream (fetch-disabled at "
+                    "each load,\n    fetch-reenabled at its last TLB "
+                    "check) ---\n");
+        gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+        cfg.scheme = gpu::Scheme::WarpDisableLastCheck;
+        gpu::Gpu g(cfg);
+        obs::PipelineView view(128);
+        view.setProgram(&k.program);
+        g.setObserver(&view);
+        g.run(k, tr);
+        view.render(std::cout);
     }
 
     std::printf("\nThe two pipeline hazards of section 2.5 in this "

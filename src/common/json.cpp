@@ -69,8 +69,11 @@ Writer::raw(const std::string &text)
 void
 Writer::indent()
 {
+    if (indentWidth_ < 0)
+        return; // compact mode: no newlines or indentation
     os_ << '\n';
-    for (std::size_t i = 0; i < scopes_.size() * indentWidth_; ++i)
+    for (std::size_t i = 0;
+         i < scopes_.size() * static_cast<std::size_t>(indentWidth_); ++i)
         os_ << ' ';
 }
 
@@ -103,7 +106,8 @@ Writer::key(const std::string &k)
         raw(",");
     scopeHasItems_.back() = true;
     indent();
-    raw("\"" + escape(k) + "\": ");
+    raw(indentWidth_ < 0 ? "\"" + escape(k) + "\":"
+                         : "\"" + escape(k) + "\": ");
     pendingKey_ = true;
     return *this;
 }

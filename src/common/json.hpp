@@ -48,6 +48,11 @@ std::string formatNumber(double v);
 class Writer
 {
   public:
+    /**
+     * @p indentWidth spaces per nesting level; a negative width
+     * selects compact mode (no newlines or padding — for large
+     * machine-consumed documents like traces).
+     */
     explicit Writer(std::ostream &os, int indentWidth = 2)
         : os_(os), indentWidth_(indentWidth)
     {}

@@ -396,9 +396,20 @@ FunctionalSim::stepWarp(const Kernel &kernel, BlockExec &blk, WarpExec &we,
             auto b = static_cast<std::int64_t>(src_b(lane));
             std::int64_t r = 0;
             switch (in.op) {
-              case Opcode::IADD: r = a + b; break;
-              case Opcode::ISUB: r = a - b; break;
-              case Opcode::IMUL: r = a * b; break;
+              // Integer add/sub/mul wrap (two's complement), as on the
+              // hardware; compute unsigned to keep the wrap defined.
+              case Opcode::IADD:
+                r = static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                              static_cast<std::uint64_t>(b));
+                break;
+              case Opcode::ISUB:
+                r = static_cast<std::int64_t>(static_cast<std::uint64_t>(a) -
+                                              static_cast<std::uint64_t>(b));
+                break;
+              case Opcode::IMUL:
+                r = static_cast<std::int64_t>(static_cast<std::uint64_t>(a) *
+                                              static_cast<std::uint64_t>(b));
+                break;
               case Opcode::IMIN: r = std::min(a, b); break;
               case Opcode::IMAX: r = std::max(a, b); break;
               case Opcode::AND: r = a & b; break;

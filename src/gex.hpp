@@ -33,6 +33,9 @@
 #include "isa/program.hpp"
 #include "kasm/builder.hpp"
 #include "kasm/parser.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/observer.hpp"
+#include "obs/pipeline_view.hpp"
 #include "power/overheads.hpp"
 #include "vm/memory_manager.hpp"
 #include "workloads/workloads.hpp"

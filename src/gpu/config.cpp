@@ -25,8 +25,16 @@ schemeFromName(const std::string &name)
     for (Scheme s : allSchemes())
         if (name == schemeName(s))
             return s;
-    fatal("unknown scheme '%s' (expected baseline | wd-commit | "
-          "wd-lastcheck | replay-queue | operand-log)", name.c_str());
+    // Derive the accepted spellings from the scheme list itself so a
+    // new scheme can never be missing from the message.
+    std::string expected;
+    for (Scheme s : allSchemes()) {
+        if (!expected.empty())
+            expected += " | ";
+        expected += schemeName(s);
+    }
+    fatal("unknown scheme '%s' (expected %s)", name.c_str(),
+          expected.c_str());
 }
 
 const std::vector<Scheme> &

@@ -56,8 +56,10 @@ Gpu::reset(const func::Kernel &kernel, const trace::KernelTrace &trace,
 
     sched_ = std::make_unique<TbScheduler>(trace);
     sms_.clear();
-    for (int i = 0; i < cfg_.numSms; ++i)
+    for (int i = 0; i < cfg_.numSms; ++i) {
         sms_.push_back(std::make_unique<sm::Sm>(i, cfg_, *this, *sched_));
+        sms_.back()->setObserver(observer_);
+    }
 }
 
 bool

@@ -77,6 +77,13 @@ class Gpu : public sm::MemorySystem
 
     const GpuConfig &config() const { return cfg_; }
 
+    /**
+     * Attach a pipeline observer to every SM (nullptr detaches). The
+     * pointer is installed on the fresh SM array each run(), so it may
+     * be set once before any number of runs; it must outlive them.
+     */
+    void setObserver(obs::PipelineObserver *o) { observer_ = o; }
+
     // --- sm::MemorySystem ---
     Cycle l2Load(Addr line, Cycle earliest) override;
     Cycle l2Store(Addr line, Cycle earliest) override;
@@ -102,6 +109,7 @@ class Gpu : public sm::MemorySystem
     std::unique_ptr<vm::SystemMmu> mmu_;
     std::unique_ptr<TbScheduler> sched_;
     std::vector<std::unique_ptr<sm::Sm>> sms_;
+    obs::PipelineObserver *observer_ = nullptr;
 };
 
 } // namespace gex::gpu

@@ -1,0 +1,143 @@
+#include "obs/chrome_trace.hpp"
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "common/json.hpp"
+#include "obs/observer.hpp"
+
+namespace gex::obs {
+
+namespace {
+
+/** Common fields of every trace event. */
+void
+eventHeader(json::Writer &w, const char *name, const char *ph, Cycle ts,
+            const PipeEvent &e)
+{
+    w.beginObject();
+    w.key("name").value(name);
+    w.key("ph").value(ph);
+    // One simulated cycle = 1 µs of trace time (ts is in µs).
+    w.key("ts").value(static_cast<std::uint64_t>(ts));
+    w.key("pid").value(static_cast<int>(e.sm));
+    // Block-level events carry no warp; park them on a slot track.
+    w.key("tid").value(e.warp >= 0 ? e.warp : 1000 + e.slot);
+}
+
+} // namespace
+
+void
+ChromeTraceWriter::write(std::ostream &os) const
+{
+    json::Writer w(os, /*indentWidth=*/-1);
+    w.beginObject();
+    w.key("displayTimeUnit").value("ms");
+    w.key("traceEvents").beginArray();
+
+    // Process/thread naming metadata (one per SM / per warp seen).
+    std::map<int, bool> sms;
+    std::map<std::pair<int, int>, bool> tracks;
+    for (const PipeEvent &e : events_) {
+        if (e.warp < 0)
+            continue;
+        sms.emplace(e.sm, true);
+        tracks.emplace(std::make_pair(static_cast<int>(e.sm), e.warp),
+                       true);
+    }
+    for (const auto &s : sms) {
+        w.beginObject();
+        w.key("name").value("process_name");
+        w.key("ph").value("M");
+        w.key("pid").value(s.first);
+        w.key("args").beginObject();
+        w.key("name").value("SM " + std::to_string(s.first));
+        w.endObject();
+        w.endObject();
+    }
+    for (const auto &t : tracks) {
+        w.beginObject();
+        w.key("name").value("thread_name");
+        w.key("ph").value("M");
+        w.key("pid").value(t.first.first);
+        w.key("tid").value(t.first.second);
+        w.key("args").beginObject();
+        w.key("name").value("warp " + std::to_string(t.first.second));
+        w.endObject();
+        w.endObject();
+    }
+
+    // Duration slices: one per issue → commit/squash interval of a
+    // dynamic instruction. A trace index can be in flight once per
+    // (sm, warp) at a time, so that triple keys the open slice.
+    std::map<std::tuple<int, int, std::uint32_t>, PipeEvent> open;
+    auto slice_name = [&](const PipeEvent &e) {
+        if (program_ && e.staticIdx < program_->size())
+            return program_->at(e.staticIdx).toString();
+        return "pc " + std::to_string(e.staticIdx);
+    };
+    for (const PipeEvent &e : events_) {
+        const auto key = std::make_tuple(static_cast<int>(e.sm), e.warp,
+                                         e.traceIdx);
+        if (e.kind == PipeEventKind::Issued) {
+            open[key] = e;
+            continue;
+        }
+        if (e.kind == PipeEventKind::Committed ||
+            e.kind == PipeEventKind::Squashed) {
+            auto it = open.find(key);
+            if (it != open.end()) {
+                eventHeader(w, slice_name(e).c_str(), "X",
+                            it->second.cycle, e);
+                w.key("dur").value(
+                    static_cast<std::uint64_t>(e.cycle -
+                                               it->second.cycle));
+                w.key("args").beginObject();
+                w.key("trace_idx").value(
+                    static_cast<std::uint64_t>(e.traceIdx));
+                w.key("static_idx").value(
+                    static_cast<std::uint64_t>(e.staticIdx));
+                w.key("end").value(pipeEventName(e.kind));
+                w.endObject();
+                w.endObject();
+                open.erase(it);
+            }
+        }
+        if (e.kind == PipeEventKind::Committed)
+            continue; // fully described by its slice
+        // Everything else (and Squashed, marking the kill point) is an
+        // instant on the warp's track.
+        eventHeader(w, pipeEventName(e.kind), "i", e.cycle, e);
+        w.key("s").value("t");
+        w.key("args").beginObject();
+        if (e.traceIdx != PipeEvent::kNoIndex)
+            w.key("trace_idx").value(
+                static_cast<std::uint64_t>(e.traceIdx));
+        if (e.staticIdx != PipeEvent::kNoIndex)
+            w.key("static_idx").value(
+                static_cast<std::uint64_t>(e.staticIdx));
+        if (e.arg != 0)
+            w.key("arg").value(static_cast<std::uint64_t>(e.arg));
+        w.endObject();
+        w.endObject();
+    }
+
+    // Instructions still in flight when recording stopped: zero-length
+    // slices so they remain visible.
+    for (const auto &o : open) {
+        eventHeader(w, slice_name(o.second).c_str(), "X", o.second.cycle,
+                    o.second);
+        w.key("dur").value(static_cast<std::uint64_t>(0));
+        w.key("args").beginObject();
+        w.key("end").value("open");
+        w.endObject();
+        w.endObject();
+    }
+
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace gex::obs

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Chrome-trace (Perfetto) exporter: an observer that records the full
+ * instruction-lifecycle event stream and writes it as a Chrome Trace
+ * Event Format JSON document — load the file in Perfetto or
+ * chrome://tracing to see each SM as a process, each warp as a track,
+ * in-flight instructions as duration slices (issue → commit/squash)
+ * and the scheme-specific events (fetch barriers, TLB checks, faults,
+ * replays, context switches) as instants on those tracks.
+ */
+
+#ifndef GEX_OBS_CHROME_TRACE_HPP
+#define GEX_OBS_CHROME_TRACE_HPP
+
+#include <ostream>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "obs/observer.hpp"
+
+namespace gex::obs {
+
+class ChromeTraceWriter : public PipelineObserver
+{
+  public:
+    /** Optional: name duration slices by disassembly from @p p. */
+    void setProgram(const isa::Program *p) { program_ = p; }
+
+    void event(const PipeEvent &e) override { events_.push_back(e); }
+
+    std::size_t eventCount() const { return events_.size(); }
+    void clear() { events_.clear(); }
+
+    /**
+     * Write everything recorded so far as one JSON document
+     * ({"traceEvents": [...]}; one simulated cycle = 1 µs of trace
+     * time). Compact output — traces run to megabytes.
+     */
+    void write(std::ostream &os) const;
+
+  private:
+    std::vector<PipeEvent> events_;
+    const isa::Program *program_ = nullptr;
+};
+
+} // namespace gex::obs
+
+#endif // GEX_OBS_CHROME_TRACE_HPP

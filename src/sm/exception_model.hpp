@@ -30,7 +30,15 @@
 
 namespace gex::sm {
 
-/** Decision-point view of a Scheme (see file comment). */
+/**
+ * Decision-point view of a Scheme (see file comment).
+ *
+ * The raw flags parameterize the scheme; the pipeline stages consult
+ * them only through the named per-stage hooks below, so each stage
+ * module states *which* decision it is making rather than re-deriving
+ * it from flag combinations. Everything stays flag-based and inline —
+ * no virtual dispatch on the timing loop.
+ */
 struct SchemePolicy {
     gpu::Scheme kind = gpu::Scheme::StallOnFault;
 
@@ -46,6 +54,79 @@ struct SchemePolicy {
     bool preemptible = false;
 
     static SchemePolicy make(gpu::Scheme s);
+
+    // --- per-stage hooks ------------------------------------------------
+
+    /**
+     * Fetch stage: does this instruction act as a fetch barrier for
+     * its warp (warp-disable schemes; arithmetic-capable instructions
+     * join in under the arith-exception extension)?
+     */
+    bool
+    fetchBarrier(bool is_global_mem, bool can_raise_arith,
+                 bool arith_exceptions) const
+    {
+        return fetchDisableOnGlobalMem &&
+               (is_global_mem || (arith_exceptions && can_raise_arith));
+    }
+
+    /**
+     * Issue stage: must this instruction reserve operand-log space
+     * before it may issue (operand-log scheme back-pressure)?
+     */
+    bool
+    logAdmission(bool is_global_mem, unsigned num_active) const
+    {
+        return usesOperandLog && is_global_mem && num_active > 0;
+    }
+
+    /**
+     * Operand-collect stage: do the source scoreboard holds of an
+     * instruction that can fault (@p can_fault: global memory, or
+     * arithmetic-capable under the extension) release at operand read?
+     * When false (replay queue) they stay held until the last TLB
+     * check / completion so a replay re-reads unclobbered values.
+     */
+    bool
+    releaseSourcesAtOperandRead(bool can_fault) const
+    {
+        return !(holdSourcesUntilLastCheck && can_fault);
+    }
+
+    /** Mem-check stage: held sources release at the last TLB check. */
+    bool
+    releaseSourcesAtLastCheck() const
+    {
+        return holdSourcesUntilLastCheck;
+    }
+
+    /** Mem-check stage: fetch barrier lifts at the last TLB check. */
+    bool
+    reenableFetchAtLastCheck() const
+    {
+        return reenableAtLastCheck;
+    }
+
+    /** Commit stage: fetch barrier lifts only at commit (wd-commit). */
+    bool
+    reenableFetchAtCommit() const
+    {
+        return fetchDisableOnGlobalMem && !reenableAtLastCheck;
+    }
+
+    /** Fault reaction: squash + replay the faulting instruction. */
+    bool
+    squashOnFault() const
+    {
+        return preemptible;
+    }
+
+    /** LSU: faulted requests stall in the pipeline (baseline). */
+    bool
+    stallFaultsInPipeline() const
+    {
+        return !preemptible;
+    }
 };
 
 /**

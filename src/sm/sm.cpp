@@ -4,62 +4,41 @@
 
 #include "common/log.hpp"
 #include "gpu/local_scheduler.hpp"
+#include "sm/stages/operand_collect.hpp"
 
 namespace gex::sm {
 
-using isa::Instruction;
-using isa::Opcode;
-using isa::Unit;
-
 Sm::Sm(int id, const gpu::GpuConfig &cfg, MemorySystem &sys,
        BlockSupply &supply)
-    : id_(id), cfg_(cfg), sys_(sys), supply_(supply),
-      policy_(SchemePolicy::make(cfg.scheme)), lsu_(cfg.sm, sys),
-      mathPort_(cfg.sm.numMathUnits), sfuPort_(1), branchPort_(1),
-      sharedPort_(1)
+    : st_(id, cfg, sys), sys_(sys), supply_(supply), fetch_(st_),
+      issue_(st_), memCheck_(st_, *this), commit_(st_, *this)
 {
-    sb_.init(cfg.sm.maxWarps);
-    warps_.resize(static_cast<size_t>(cfg.sm.maxWarps));
-    fetchBlocked_.assign(static_cast<size_t>(cfg.sm.maxWarps), 0);
-    issueStalled_.assign(static_cast<size_t>(cfg.sm.maxWarps), 0);
-    // Pre-size the event heap from the config-derived in-flight bound:
-    // each in-flight instruction carries at most three live events
-    // (source release, last check, commit) and in-flight work per warp
-    // is capped by the instruction buffer plus the LSU queue.
-    std::vector<Event> backing;
-    backing.reserve(static_cast<std::size_t>(cfg.sm.maxWarps) * 3 *
-                    static_cast<std::size_t>(cfg.sm.instBufferDepth +
-                                             cfg.sm.lsuQueueDepth));
-    events_ = decltype(events_)(std::greater<>(), std::move(backing));
-    pool_.reserve(static_cast<std::size_t>(cfg.sm.maxWarps) *
-                  static_cast<std::size_t>(cfg.sm.instBufferDepth +
-                                           cfg.sm.lsuQueueDepth));
 }
 
 void
 Sm::beginKernel(const LaunchInfo &li)
 {
-    li_ = li;
+    st_.li = li;
     GEX_ASSERT(li.blocksPerSm > 0);
-    GEX_ASSERT(li.blocksPerSm * li.warpsPerBlock <= cfg_.sm.maxWarps);
-    activeWarps_ = li.blocksPerSm * li.warpsPerBlock;
-    slots_.assign(static_cast<size_t>(li.blocksPerSm), TbSlot{});
-    for (auto &w : warps_)
+    GEX_ASSERT(li.blocksPerSm * li.warpsPerBlock <= st_.cfg.sm.maxWarps);
+    st_.activeWarps = li.blocksPerSm * li.warpsPerBlock;
+    st_.slots.assign(static_cast<size_t>(li.blocksPerSm), TbSlot{});
+    for (auto &w : st_.warps)
         w = WarpRt{};
-    std::fill(fetchBlocked_.begin(), fetchBlocked_.end(), 0);
-    std::fill(issueStalled_.begin(), issueStalled_.end(), 0);
-    offchip_.clear();
-    extraBlocksBrought_ = 0;
-    slotRetryAt_ = kNoCycle;
-    if (policy_.usesOperandLog)
-        log_.configure(cfg_.operandLogBytes, li.blocksPerSm);
+    std::fill(st_.fetchBlocked.begin(), st_.fetchBlocked.end(), 0);
+    std::fill(st_.issueStalled.begin(), st_.issueStalled.end(), 0);
+    st_.offchip.clear();
+    st_.extraBlocksBrought = 0;
+    st_.slotRetryAt = kNoCycle;
+    if (st_.policy.usesOperandLog)
+        st_.log.configure(st_.cfg.operandLogBytes, li.blocksPerSm);
 }
 
 int
 Sm::freeSlots() const
 {
     int n = 0;
-    for (const auto &s : slots_)
+    for (const auto &s : st_.slots)
         if (s.state == TbSlot::State::Empty)
             ++n;
     return n;
@@ -68,8 +47,8 @@ Sm::freeSlots() const
 int
 Sm::ownedBlocks() const
 {
-    int n = static_cast<int>(offchip_.size());
-    for (const auto &s : slots_)
+    int n = static_cast<int>(st_.offchip.size());
+    for (const auto &s : st_.slots)
         if (s.state != TbSlot::State::Empty)
             ++n;
     return n;
@@ -78,8 +57,8 @@ Sm::ownedBlocks() const
 bool
 Sm::launchBlock(const trace::BlockTrace *bt, Cycle now)
 {
-    for (size_t s = 0; s < slots_.size(); ++s) {
-        if (slots_[s].state == TbSlot::State::Empty) {
+    for (size_t s = 0; s < st_.slots.size(); ++s) {
+        if (st_.slots[s].state == TbSlot::State::Empty) {
             installBlock(static_cast<int>(s), bt, now, nullptr);
             return true;
         }
@@ -91,20 +70,20 @@ void
 Sm::installBlock(int slot, const trace::BlockTrace *bt, Cycle now,
                  const OffchipBlock *restore_from)
 {
-    TbSlot &ts = slots_[static_cast<size_t>(slot)];
+    TbSlot &ts = st_.slots[static_cast<size_t>(slot)];
     ts.state = TbSlot::State::Running;
     ts.blockId = bt->blockId;
     ts.bt = bt;
-    ts.firstWarp = slot * li_.warpsPerBlock;
+    ts.firstWarp = slot * st_.li.warpsPerBlock;
     ts.numWarps = static_cast<int>(bt->warps.size());
     ts.warpsFinished = 0;
     ts.faultReadyAt = 0;
     ts.installedAt = now;
 
     for (int j = 0; j < ts.numWarps; ++j) {
-        WarpRt &w = warps_[static_cast<size_t>(ts.firstWarp + j)];
+        WarpRt &w = st_.warps[static_cast<size_t>(ts.firstWarp + j)];
         w = WarpRt{};
-        wakeWarp(ts.firstWarp + j);
+        st_.wakeWarp(ts.firstWarp + j);
         w.slot = slot;
         w.tr = &bt->warps[static_cast<size_t>(j)];
         if (restore_from) {
@@ -118,15 +97,15 @@ Sm::installBlock(int slot, const trace::BlockTrace *bt, Cycle now,
                 ++ts.warpsFinished;
         }
     }
-    didWork_ = true;
+    st_.didWork = true;
 }
 
 bool
 Sm::busy() const
 {
-    if (!offchip_.empty())
+    if (!st_.offchip.empty())
         return true;
-    for (const auto &s : slots_)
+    for (const auto &s : st_.slots)
         if (s.state != TbSlot::State::Empty)
             return true;
     return false;
@@ -135,169 +114,107 @@ Sm::busy() const
 Cycle
 Sm::nextEventCycle() const
 {
-    return events_.empty() ? kNoCycle : events_.top().cycle;
-}
-
-// ---------------------------------------------------------------------------
-// Event plumbing
-
-std::uint32_t
-Sm::allocInflight()
-{
-    if (!freeList_.empty()) {
-        std::uint32_t id = freeList_.back();
-        freeList_.pop_back();
-        pool_[id] = Inflight{};
-        pool_[id].live = true;
-        return id;
-    }
-    pool_.push_back(Inflight{});
-    pool_.back().live = true;
-    return static_cast<std::uint32_t>(pool_.size() - 1);
-}
-
-void
-Sm::scheduleEvent(Cycle cycle, EvKind kind, std::int32_t arg,
-                  std::uint32_t id)
-{
-    events_.push(Event{cycle, ++eventSeq_, kind, arg, id});
-}
-
-void
-Sm::scheduleInstEvent(Cycle cycle, EvKind kind, std::int32_t arg,
-                      std::uint32_t id)
-{
-    events_.push(Event{cycle, ++eventSeq_, kind, arg, id});
-    ++pool_[id].eventsLeft;
-}
-
-void
-Sm::retireEventRef(std::uint32_t id)
-{
-    Inflight &in = pool_[id];
-    GEX_ASSERT(in.eventsLeft > 0);
-    if (--in.eventsLeft == 0 && in.live && in.squashed) {
-        in.live = false;
-        freeList_.push_back(id);
-    }
+    return st_.events.empty() ? kNoCycle : st_.events.top().cycle;
 }
 
 void
 Sm::tick(Cycle now)
 {
-    didWork_ = false;
+    st_.didWork = false;
     processEvents(now);
-    doFetch(now);
-    doIssue(now);
+    fetch_.tick(now);
+    issue_.tick(now);
 }
+
+// ---------------------------------------------------------------------------
+// Event dispatch: pop due events and hand each to its stage.
 
 void
 Sm::processEvents(Cycle now)
 {
-    while (!events_.empty() && events_.top().cycle <= now) {
-        Event ev = events_.top();
-        events_.pop();
-        didWork_ = true;
+    while (!st_.events.empty() && st_.events.top().cycle <= now) {
+        Event ev = st_.events.top();
+        st_.events.pop();
+        st_.didWork = true;
         switch (ev.kind) {
           case EvKind::SourceRelease: {
-            Inflight &in = pool_[ev.id];
+            // Operand-collect stage: scheduled source-release point
+            // (operand read for most schemes; see issue stage).
+            Inflight &in = st_.pool[ev.id];
             if (!in.squashed && in.sourcesHeld) {
-                const Instruction &si = *in.si;
-                const auto &t = si.traits();
-                for (int i = 0; i < t.numSrcs; ++i) {
-                    if (i == 1 && si.useImm)
-                        continue;
-                    sb_.releaseSource(in.warp, Scoreboard::regName(si.srcs[i]));
-                }
-                sb_.releaseSource(in.warp, Scoreboard::predName(si.pred));
-                if (si.op == Opcode::SEL || si.op == Opcode::PSETP)
-                    sb_.releaseSource(in.warp, Scoreboard::predName(si.predA));
-                if (si.op == Opcode::PSETP)
-                    sb_.releaseSource(in.warp, Scoreboard::predName(si.predB));
-                in.sourcesHeld = false;
-                wakeWarp(in.warp);
+                releaseSources(st_, in, now);
+                st_.wakeWarp(in.warp);
             }
-            retireEventRef(ev.id);
+            st_.retireEventRef(ev.id);
             break;
           }
           case EvKind::LastCheck: {
-            Inflight &in = pool_[ev.id];
+            Inflight &in = st_.pool[ev.id];
             if (!in.squashed)
-                onLastCheck(in, now);
-            retireEventRef(ev.id);
+                memCheck_.onLastCheck(in, now);
+            st_.retireEventRef(ev.id);
             break;
           }
           case EvKind::Commit: {
-            Inflight &in = pool_[ev.id];
+            Inflight &in = st_.pool[ev.id];
             if (!in.squashed)
-                onCommit(in, now);
-            retireEventRef(ev.id);
+                commit_.onCommit(in, now);
+            st_.retireEventRef(ev.id);
             // Commit retires the record.
-            Inflight &in2 = pool_[ev.id];
+            Inflight &in2 = st_.pool[ev.id];
             if (in2.live && !in2.squashed && in2.eventsLeft == 0) {
                 in2.live = false;
-                freeList_.push_back(ev.id);
+                st_.freeList.push_back(ev.id);
             }
             break;
           }
           case EvKind::FaultReact: {
-            Inflight &in = pool_[ev.id];
+            Inflight &in = st_.pool[ev.id];
             if (!in.squashed)
-                onFaultReact(in, now);
-            retireEventRef(ev.id);
+                memCheck_.onFaultReact(in, now);
+            st_.retireEventRef(ev.id);
             break;
           }
           case EvKind::WarpResume:
             onWarpResume(ev.arg, now);
             break;
           case EvKind::TrapEnter: {
-            // The warp switches to system mode and runs the trap
-            // handler; no replay is needed (the instruction completed).
-            Inflight &in = pool_[ev.id];
-            WarpRt &wr = warps_[static_cast<size_t>(in.warp)];
-            if (wr.slot >= 0) {
-                wr.faultBlocked = true;
-                wakeWarp(in.warp);
-                wr.blockedUntil =
-                    std::max(wr.blockedUntil, now + cfg_.trapHandlerCycles);
-                scheduleEvent(wr.blockedUntil, EvKind::WarpResume, in.warp,
-                              UINT32_MAX);
-                ++trapsHandled_;
-                systemModeCycles_ += cfg_.trapHandlerCycles;
-            }
-            retireEventRef(ev.id);
+            Inflight &in = st_.pool[ev.id];
+            commit_.onTrapEnter(in, now);
+            st_.retireEventRef(ev.id);
             break;
           }
           case EvKind::SaveReady: {
             int slot = ev.arg;
-            TbSlot &ts = slots_[static_cast<size_t>(slot)];
+            TbSlot &ts = st_.slots[static_cast<size_t>(slot)];
             if (ts.state != TbSlot::State::Draining)
                 break;
             bool drained = true;
             for (int j = 0; j < ts.numWarps; ++j)
-                if (warps_[static_cast<size_t>(ts.firstWarp + j)].inflight >
-                    0)
+                if (st_.warps[static_cast<size_t>(ts.firstWarp + j)]
+                        .inflight > 0)
                     drained = false;
             if (!drained) {
-                scheduleEvent(std::max(drainTime(slot), now + 1),
-                              EvKind::SaveReady, slot, UINT32_MAX);
+                st_.scheduleEvent(std::max(drainTime(slot), now + 1),
+                                  EvKind::SaveReady, slot, UINT32_MAX);
                 break;
             }
             ts.state = TbSlot::State::Saving;
             Cycle done;
-            if (cfg_.idealContextSwitch) {
+            if (st_.cfg.idealContextSwitch) {
                 done = now + 1;
             } else {
-                done = sys_.bulkDramTraffic(now, li_.contextBytesPerBlock) +
-                       cfg_.contextSwitchOverhead;
-                contextBytesMoved_ += li_.contextBytesPerBlock;
+                done = sys_.bulkDramTraffic(now,
+                                            st_.li.contextBytesPerBlock) +
+                       st_.cfg.contextSwitchOverhead;
+                st_.contextBytesMoved += st_.li.contextBytesPerBlock;
             }
-            scheduleEvent(done, EvKind::SaveDone, slot, UINT32_MAX);
+            st_.scheduleEvent(done, EvKind::SaveDone, slot, UINT32_MAX);
             break;
           }
           case EvKind::SaveDone: {
             int slot = ev.arg;
-            TbSlot &ts = slots_[static_cast<size_t>(slot)];
+            TbSlot &ts = st_.slots[static_cast<size_t>(slot)];
             GEX_ASSERT(ts.state == TbSlot::State::Saving);
             OffchipBlock ob;
             ob.blockId = ts.blockId;
@@ -305,626 +222,66 @@ Sm::processEvents(Cycle now)
             ob.readyAt = ts.faultReadyAt;
             ob.warps.resize(static_cast<size_t>(ts.numWarps));
             for (int j = 0; j < ts.numWarps; ++j) {
-                WarpRt &w = warps_[static_cast<size_t>(ts.firstWarp + j)];
+                WarpRt &w = st_.warps[static_cast<size_t>(ts.firstWarp + j)];
                 SavedWarp &sv = ob.warps[static_cast<size_t>(j)];
                 sv.fetchIdx = w.fetchIdx;
                 sv.replayQ = std::move(w.replayQ);
                 sv.waitingBarrier = w.waitingBarrier;
                 sv.finished = w.finished;
                 w = WarpRt{};
-                wakeWarp(ts.firstWarp + j);
+                st_.wakeWarp(ts.firstWarp + j);
             }
-            offchip_.push_back(std::move(ob));
+            st_.emitBlock(now, obs::PipeEventKind::ContextSaved, slot,
+                          ob.blockId);
+            st_.offchip.push_back(std::move(ob));
             ts = TbSlot{};
-            ++switchOuts_;
+            ++st_.switchOuts;
             fillEmptySlots(now);
             break;
           }
           case EvKind::RestoreDone: {
             int slot = ev.arg;
-            TbSlot &ts = slots_[static_cast<size_t>(slot)];
+            TbSlot &ts = st_.slots[static_cast<size_t>(slot)];
             GEX_ASSERT(ts.state == TbSlot::State::Restoring);
-            GEX_ASSERT(ev.id < restorePending_.size() &&
-                       restorePending_[ev.id].bt != nullptr);
-            OffchipBlock ob = std::move(restorePending_[ev.id]);
-            restorePending_[ev.id] = OffchipBlock{};
+            GEX_ASSERT(ev.id < st_.restorePending.size() &&
+                       st_.restorePending[ev.id].bt != nullptr);
+            OffchipBlock ob = std::move(st_.restorePending[ev.id]);
+            st_.restorePending[ev.id] = OffchipBlock{};
             installBlock(slot, ob.bt, now, &ob);
-            ++switchIns_;
+            st_.emitBlock(now, obs::PipeEventKind::ContextRestored, slot,
+                          ob.blockId);
+            ++st_.switchIns;
             break;
           }
           case EvKind::SlotRetry:
-            slotRetryAt_ = kNoCycle;
+            st_.slotRetryAt = kNoCycle;
             fillEmptySlots(now);
             break;
         }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Fetch
-
-void
-Sm::doFetch(Cycle now)
-{
-    // One instruction line (fetchWidth instructions) from one warp per
-    // cycle (paper section 2.1). Fetch-disabling instructions stop the
-    // line mid-way. Only the warps the kernel populated are scanned —
-    // slots past activeWarps_ can never fetch, and skipping them keeps
-    // the visit order over the live warps identical.
-    const int n = activeWarps_;
-    const bool greedy =
-        cfg_.sm.schedPolicy == gpu::SchedPolicy::GreedyThenOldest;
-    // GTO's oldest-first scan at full width visited indices
-    // 0..maxWarps-2 after the sticky warp; mirror that bound.
-    const int scan =
-        greedy ? std::min(n, static_cast<int>(warps_.size()) - 1) + 1 : n;
-    // LRR successor of the last fetching warp, tracked incrementally —
-    // a divide per scanned warp is measurable at this call rate.
-    int lrr = std::min(rrFetch_, n - 1) + 1;
-    if (lrr == n)
-        lrr = 0;
-    for (int lines = 0, i = 0;
-         i < scan && lines < cfg_.sm.fetchPerCycle; ++i) {
-        // LRR rotates the start; GTO retries the last warp, then
-        // scans from the oldest (lowest slot).
-        int w;
-        if (greedy) {
-            w = i == 0 ? rrFetch_ : i - 1;
-            if (i > 0 && w == rrFetch_)
-                continue;
-        } else {
-            w = lrr;
-            if (++lrr == n)
-                lrr = 0;
-        }
-        if (fetchBlocked_[static_cast<size_t>(w)])
-            continue; // still blocked on unchanged state — see fetchBlocked_
-        WarpRt &wr = warps_[static_cast<size_t>(w)];
-        if (!wr.schedulable()) {
-            fetchBlocked_[static_cast<size_t>(w)] = 1;
-            continue;
-        }
-
-        int fetched_from_warp = 0;
-        while (fetched_from_warp < cfg_.sm.fetchWidth) {
-            if (static_cast<int>(wr.ibuf.size()) >=
-                cfg_.sm.instBufferDepth)
-                break;
-            if (wr.controlPending > 0 || wr.wdFetchDisable)
-                break;
-            if (now < wr.fetchResumeAt)
-                break;
-
-            std::uint32_t idx;
-            if (!wr.replayQ.empty()) {
-                idx = wr.replayQ.front();
-                wr.replayQ.pop_front();
-            } else if (wr.fetchIdx < wr.tr->insts.size()) {
-                idx = wr.fetchIdx++;
-            } else {
-                break;
-            }
-
-            const trace::TraceInst &ti = wr.tr->insts[idx];
-            const Instruction &si = li_.kernel->program.at(ti.staticIdx);
-            if (si.isControl())
-                ++wr.controlPending;
-            if (policy_.fetchDisableOnGlobalMem &&
-                (si.isGlobalMem() ||
-                 (cfg_.arithExceptions && si.traits().canRaiseArith)))
-                wr.wdFetchDisable = true;
-            wr.ibuf.push_back(InstBufEntry{idx, now + 1});
-            ++fetches_;
-            ++fetched_from_warp;
-            didWork_ = true;
-        }
-        if (fetched_from_warp > 0) {
-            ++lines;
-            rrFetch_ = w;
-        } else {
-            // Mark state-blocked warps so later scans skip them after
-            // one byte read; a wait on fetchResumeAt is the only purely
-            // time-based reason and must keep the warp scannable.
-            const bool time_blocked =
-                static_cast<int>(wr.ibuf.size()) <
-                    cfg_.sm.instBufferDepth &&
-                wr.controlPending == 0 && !wr.wdFetchDisable &&
-                now < wr.fetchResumeAt;
-            if (!time_blocked)
-                fetchBlocked_[static_cast<size_t>(w)] = 1;
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Issue
-
-void
-Sm::doIssue(Cycle now)
-{
-    // Same live-warp scan bound (and divide-free rotation) as doFetch.
-    const int n = activeWarps_;
-    const bool greedy =
-        cfg_.sm.schedPolicy == gpu::SchedPolicy::GreedyThenOldest;
-    const int scan =
-        greedy ? std::min(n, static_cast<int>(warps_.size()) - 1) + 1 : n;
-    int lrr = std::min(rrIssue_, n - 1) + 1;
-    if (lrr == n)
-        lrr = 0;
-    int total = 0;
-    int warps_used = 0;
-    int last_issued = rrIssue_;
-    for (int i = 0;
-         i < scan && total < cfg_.sm.issueWidth && warps_used < 2; ++i) {
-        int w;
-        if (greedy) {
-            w = i == 0 ? rrIssue_ : i - 1;
-            if (i > 0 && w == rrIssue_)
-                continue;
-        } else {
-            w = lrr;
-            if (++lrr == n)
-                lrr = 0;
-        }
-        // Byte-gate: a warp whose head is known-stalled on an
-        // untouched scoreboard re-registers the stall (exactly one
-        // increment, as a full rescan would) off one byte read.
-        if (issueStalled_[static_cast<size_t>(w)]) {
-            ++stallScoreboard_;
-            continue;
-        }
-        // Cheap per-warp gates run inline; the full decode + check in
-        // tryIssueHead only runs for warps that might actually issue.
-        int k = 0;
-        WarpRt &wr = warps_[static_cast<size_t>(w)];
-        while (k < cfg_.sm.maxIssuePerWarp && total < cfg_.sm.issueWidth) {
-            if (!wr.schedulable() || wr.ibuf.empty() ||
-                wr.ibuf.front().readyAt > now)
-                break;
-            if (wr.ibuf.front().idx == wr.sbStallIdx &&
-                sb_.gen(w) == wr.sbStallGen) {
-                issueStalled_[static_cast<size_t>(w)] = 1;
-                ++stallScoreboard_;
-                break;
-            }
-            if (!tryIssueHead(w, now))
-                break;
-            ++k;
-            ++total;
-        }
-        if (k > 0) {
-            ++warps_used;
-            last_issued = w;
-        }
-    }
-    if (total > 0)
-        rrIssue_ = last_issued;
-}
-
-bool
-Sm::tryIssueHead(int w, Cycle now)
-{
-    WarpRt &wr = warps_[static_cast<size_t>(w)];
-    if (!wr.schedulable() || wr.ibuf.empty() ||
-        wr.ibuf.front().readyAt > now)
-        return false;
-
-    const std::uint32_t idx = wr.ibuf.front().idx;
-    // Stall memo: this head already failed the scoreboard checks and
-    // no scoreboard entry of this warp changed since, so the same
-    // checks would fail again — register the stall without re-decoding.
-    if (idx == wr.sbStallIdx && sb_.gen(w) == wr.sbStallGen) {
-        ++stallScoreboard_;
-        return false;
-    }
-    const trace::TraceInst &ti = wr.tr->insts[idx];
-    const Instruction &si = li_.kernel->program.at(ti.staticIdx);
-    const auto &t = si.traits();
-
-    // The checks depend only on the instruction and this warp's
-    // scoreboard state, so a failure stays valid until gen(w) moves.
-    auto sb_stall = [&] {
-        wr.sbStallIdx = idx;
-        wr.sbStallGen = sb_.gen(w);
-        issueStalled_[static_cast<size_t>(w)] = 1;
-        ++stallScoreboard_;
-    };
-
-    // --- scoreboard checks (RAW on sources, WAW+WAR on destinations) ---
-    for (int i = 0; i < t.numSrcs; ++i) {
-        if (i == 1 && si.useImm)
-            continue;
-        if (!sb_.canRead(w, Scoreboard::regName(si.srcs[i]))) {
-            sb_stall();
-            return false;
-        }
-    }
-    if (!sb_.canRead(w, Scoreboard::predName(si.pred))) {
-        sb_stall();
-        return false;
-    }
-    if ((si.op == Opcode::SEL || si.op == Opcode::PSETP) &&
-        !sb_.canRead(w, Scoreboard::predName(si.predA))) {
-        sb_stall();
-        return false;
-    }
-    if (si.op == Opcode::PSETP &&
-        !sb_.canRead(w, Scoreboard::predName(si.predB))) {
-        sb_stall();
-        return false;
-    }
-    if (t.writesDst && !sb_.canWrite(w, Scoreboard::regName(si.dst))) {
-        sb_stall();
-        return false;
-    }
-    if ((si.op == Opcode::SETP || si.op == Opcode::PSETP) &&
-        !sb_.canWrite(w, Scoreboard::predName(si.predDst))) {
-        sb_stall();
-        return false;
-    }
-
-    const bool is_global = si.isGlobalMem();
-
-    // --- structural gates ---
-    if (is_global) {
-        if (lsuIssuedAt_ == now) {
-            return false; // one memory instruction per cycle
-        }
-        if (inflightMem_ >= cfg_.sm.lsuQueueDepth) {
-            ++stallLsuQueue_;
-            return false;
-        }
-    }
-
-    // --- operand log gate (OperandLog scheme) ---
-    std::uint32_t log_bytes = 0;
-    if (policy_.usesOperandLog && is_global && ti.numActive > 0) {
-        log_bytes = OperandLog::entryBytes(t.isStore || t.isAtomic);
-        if (!log_.tryAllocate(wr.slot, log_bytes)) {
-            ++stallLog_;
-            return false;
-        }
-    }
-
-    // --- issue ---
-    wr.ibuf.pop_front();
-    wakeWarp(w); // buffer space freed
-    const Cycle op_read = now + 1;
-
-    std::uint32_t id = allocInflight();
-    Inflight &in = pool_[id];
-    in.traceIdx = idx;
-    in.warp = w;
-    in.ti = &ti;
-    in.si = &si;
-    in.isGlobalMem = is_global;
-    in.isControl = si.isControl();
-    in.logHeld = log_bytes > 0;
-    in.logBytes = log_bytes;
-    in.logPartition = wr.slot;
-
-    // Acquire scoreboard entries.
-    for (int i = 0; i < t.numSrcs; ++i) {
-        if (i == 1 && si.useImm)
-            continue;
-        sb_.acquireSource(w, Scoreboard::regName(si.srcs[i]));
-    }
-    sb_.acquireSource(w, Scoreboard::predName(si.pred));
-    if (si.op == Opcode::SEL || si.op == Opcode::PSETP)
-        sb_.acquireSource(w, Scoreboard::predName(si.predA));
-    if (si.op == Opcode::PSETP)
-        sb_.acquireSource(w, Scoreboard::predName(si.predB));
-    in.sourcesHeld = true;
-    if (t.writesDst) {
-        sb_.acquireWrite(w, Scoreboard::regName(si.dst));
-        in.dstHeld = true;
-    }
-    if (si.op == Opcode::SETP || si.op == Opcode::PSETP) {
-        sb_.acquireWrite(w, Scoreboard::predName(si.predDst));
-        in.dstHeld = true;
-    }
-
-    bool faulted = false;
-    if (is_global) {
-        lsuIssuedAt_ = now;
-        ++inflightMem_;
-        in.mem = lsu_.processGlobal(si, ti, wr.tr->lines(ti), op_read,
-                                    !policy_.preemptible,
-                                    cfg_.faultRetryLatency);
-        faulted = in.mem.faulted;
-        if (faulted) {
-            scheduleInstEvent(in.mem.faultDetect, EvKind::FaultReact, w, id);
-        } else {
-            scheduleInstEvent(in.mem.lastTlbCheck, EvKind::LastCheck, w, id);
-            in.commitAt = in.mem.execDone + 1;
-            scheduleInstEvent(in.commitAt, EvKind::Commit, w, id);
-        }
-        // Source release point depends on the scheme.
-        if (!(policy_.holdSourcesUntilLastCheck)) {
-            scheduleInstEvent(op_read, EvKind::SourceRelease, w, id);
-        } else if (faulted) {
-            // Replay-queue scheme: sources stay held until the last
-            // TLB check, which never happens for a faulted
-            // instruction; they release when it is squashed.
-        }
-    } else {
-        Cycle start = 0;
-        Cycle lat = 1;
-        switch (t.unit) {
-          case Unit::Math:
-            start = mathPort_.reserve(op_read + 1);
-            lat = cfg_.sm.mathLatency;
-            break;
-          case Unit::Sfu:
-            start = sfuPort_.reserve(op_read + 1);
-            lat = cfg_.sm.sfuLatency;
-            break;
-          case Unit::Branch:
-            start = branchPort_.reserve(op_read + 1);
-            lat = cfg_.sm.branchLatency;
-            break;
-          case Unit::Shared:
-            start = sharedPort_.reserve(op_read + 1);
-            lat = cfg_.sm.sharedLatency;
-            break;
-          case Unit::None:
-          default:
-            start = op_read + 1;
-            lat = 0;
-            break;
-        }
-        in.commitAt = start + lat;
-        scheduleInstEvent(in.commitAt, EvKind::Commit, w, id);
-        const bool arith_capable =
-            cfg_.arithExceptions && t.canRaiseArith;
-        in.isArithBarrier =
-            arith_capable && policy_.fetchDisableOnGlobalMem;
-        if (arith_capable && policy_.holdSourcesUntilLastCheck) {
-            // Replay queue extension: sources of possibly-raising
-            // instructions release only once they are known safe
-            // (here: completion); see paper section 3.2.
-        } else {
-            scheduleInstEvent(op_read, EvKind::SourceRelease, w, id);
-        }
-        if (arith_capable && ti.arithFault) {
-            if (policy_.preemptible)
-                scheduleInstEvent(in.commitAt, EvKind::TrapEnter, w, id);
-            else
-                ++arithReportedOnly_; // current GPUs: report, no recovery
-        }
-    }
-
-    ++wr.inflight;
-    wr.maxCommitScheduled = std::max(
-        wr.maxCommitScheduled, faulted ? in.mem.faultDetect : in.commitAt);
-    ++instsIssued_;
-    didWork_ = true;
-    return true;
-}
-
-// ---------------------------------------------------------------------------
-// Event reactions
-
-void
-Sm::onLastCheck(Inflight &in, Cycle now)
-{
-    WarpRt &wr = warps_[static_cast<size_t>(in.warp)];
-    if (policy_.holdSourcesUntilLastCheck && in.sourcesHeld) {
-        const Instruction &si = *in.si;
-        const auto &t = si.traits();
-        for (int i = 0; i < t.numSrcs; ++i) {
-            if (i == 1 && si.useImm)
-                continue;
-            sb_.releaseSource(in.warp, Scoreboard::regName(si.srcs[i]));
-        }
-        sb_.releaseSource(in.warp, Scoreboard::predName(si.pred));
-        in.sourcesHeld = false;
-    }
-    if (in.logHeld) {
-        log_.release(in.logPartition, in.logBytes);
-        in.logHeld = false;
-    }
-    if (policy_.reenableAtLastCheck && in.isGlobalMem && wr.wdFetchDisable) {
-        wr.wdFetchDisable = false;
-        wr.fetchResumeAt = now + cfg_.sm.fetchRestartPenalty;
-        // Wake the fetch stage when the refill completes (the main
-        // loop skips cycles based on pending events).
-        scheduleEvent(wr.fetchResumeAt, EvKind::WarpResume, in.warp,
-                      UINT32_MAX);
-    }
-    wakeWarp(in.warp);
-}
-
-void
-Sm::onCommit(Inflight &in, Cycle now)
-{
-    WarpRt &wr = warps_[static_cast<size_t>(in.warp)];
-    const Instruction &si = *in.si;
-
-    if (in.sourcesHeld) {
-        // Safety net (e.g. replay-queue mem inst whose last check and
-        // commit coincide and ordering put commit first).
-        const auto &t = si.traits();
-        for (int i = 0; i < t.numSrcs; ++i) {
-            if (i == 1 && si.useImm)
-                continue;
-            sb_.releaseSource(in.warp, Scoreboard::regName(si.srcs[i]));
-        }
-        sb_.releaseSource(in.warp, Scoreboard::predName(si.pred));
-        if (si.op == Opcode::SEL || si.op == Opcode::PSETP)
-            sb_.releaseSource(in.warp, Scoreboard::predName(si.predA));
-        if (si.op == Opcode::PSETP)
-            sb_.releaseSource(in.warp, Scoreboard::predName(si.predB));
-        in.sourcesHeld = false;
-    }
-    if (in.dstHeld) {
-        if (si.traits().writesDst)
-            sb_.releaseWrite(in.warp, Scoreboard::regName(si.dst));
-        if (si.op == Opcode::SETP || si.op == Opcode::PSETP)
-            sb_.releaseWrite(in.warp, Scoreboard::predName(si.predDst));
-        in.dstHeld = false;
-    }
-    if (in.logHeld) {
-        log_.release(in.logPartition, in.logBytes);
-        in.logHeld = false;
-    }
-    if (in.isControl) {
-        GEX_ASSERT(wr.controlPending > 0);
-        --wr.controlPending;
-    }
-    if (in.isArithBarrier && wr.wdFetchDisable) {
-        // Arithmetic fetch barriers re-enable at commit in both
-        // warp-disable variants (there is no TLB check to wait for).
-        wr.wdFetchDisable = false;
-        wr.fetchResumeAt = now + cfg_.sm.fetchRestartPenalty;
-        scheduleEvent(wr.fetchResumeAt, EvKind::WarpResume, in.warp,
-                      UINT32_MAX);
-    }
-    if (in.isGlobalMem) {
-        --inflightMem_;
-        if (policy_.fetchDisableOnGlobalMem &&
-            !policy_.reenableAtLastCheck && wr.wdFetchDisable) {
-            wr.wdFetchDisable = false;
-            wr.fetchResumeAt = now + cfg_.sm.fetchRestartPenalty;
-            scheduleEvent(wr.fetchResumeAt, EvKind::WarpResume, in.warp,
-                          UINT32_MAX);
-        }
-    }
-    if (si.op == Opcode::BAR && wr.slot >= 0) {
-        wr.waitingBarrier = true;
-        releaseBarrierIfReady(wr.slot);
-    }
-
-    --wr.inflight;
-    ++instsCommitted_;
-    wakeWarp(in.warp);
-    checkWarpFinished(in.warp, now);
-}
-
-void
-Sm::squash(Inflight &in, Cycle now)
-{
-    (void)now;
-    WarpRt &wr = warps_[static_cast<size_t>(in.warp)];
-    const Instruction &si = *in.si;
-    if (in.sourcesHeld) {
-        const auto &t = si.traits();
-        for (int i = 0; i < t.numSrcs; ++i) {
-            if (i == 1 && si.useImm)
-                continue;
-            sb_.releaseSource(in.warp, Scoreboard::regName(si.srcs[i]));
-        }
-        sb_.releaseSource(in.warp, Scoreboard::predName(si.pred));
-        if (si.op == Opcode::SEL || si.op == Opcode::PSETP)
-            sb_.releaseSource(in.warp, Scoreboard::predName(si.predA));
-        if (si.op == Opcode::PSETP)
-            sb_.releaseSource(in.warp, Scoreboard::predName(si.predB));
-        in.sourcesHeld = false;
-    }
-    if (in.dstHeld) {
-        if (si.traits().writesDst)
-            sb_.releaseWrite(in.warp, Scoreboard::regName(si.dst));
-        if (si.op == Opcode::SETP || si.op == Opcode::PSETP)
-            sb_.releaseWrite(in.warp, Scoreboard::predName(si.predDst));
-        in.dstHeld = false;
-    }
-    if (in.logHeld) {
-        log_.release(in.logPartition, in.logBytes);
-        in.logHeld = false;
-    }
-    if (in.isControl) {
-        GEX_ASSERT(wr.controlPending > 0);
-        --wr.controlPending;
-    }
-    if (in.isGlobalMem)
-        --inflightMem_;
-    --wr.inflight;
-    wakeWarp(in.warp);
-    in.squashed = true;
-}
-
-void
-Sm::revertIbuf(WarpRt &w)
-{
-    if (w.ibuf.empty())
-        return;
-    for (std::size_t i = 0; i < w.ibuf.size(); ++i) {
-        const trace::TraceInst &ti = w.tr->insts[w.ibuf[i].idx];
-        const Instruction &si = li_.kernel->program.at(ti.staticIdx);
-        if (si.isControl()) {
-            GEX_ASSERT(w.controlPending > 0);
-            --w.controlPending;
-        }
-    }
-    w.fetchIdx = w.ibuf.front().idx;
-    w.ibuf.clear();
-}
-
-void
-Sm::insertReplay(WarpRt &w, std::uint32_t trace_idx)
-{
-    std::size_t pos = w.replayQ.lowerBound(trace_idx);
-    GEX_ASSERT(pos == w.replayQ.size() || w.replayQ[pos] != trace_idx,
-               "instruction already in replay queue");
-    w.replayQ.insert(pos, trace_idx);
-}
-
-void
-Sm::onFaultReact(Inflight &in, Cycle now)
-{
-    GEX_ASSERT(policy_.preemptible,
-               "fault reaction in non-preemptible scheme");
-    WarpRt &wr = warps_[static_cast<size_t>(in.warp)];
-    ++faultsSeen_;
-    if (in.mem.kind == vm::FaultKind::Joined)
-        ++faultsJoined_;
-    if (in.mem.kind == vm::FaultKind::GpuAlloc) {
-        ++faultsGpuHandled_;
-        systemModeCycles_ += in.mem.resolveAll - in.mem.faultDetect;
-    }
-
-    const std::uint32_t replay_idx = in.traceIdx;
-    squash(in, now);
-    insertReplay(wr, replay_idx);
-    revertIbuf(wr);
-    wr.wdFetchDisable = false;
-
-    wr.faultBlocked = true;
-    wr.blockedUntil = std::max({wr.blockedUntil, in.mem.resolveAll,
-                                wr.maxCommitScheduled});
-    scheduleEvent(std::max(wr.blockedUntil, now + 1), EvKind::WarpResume,
-                  in.warp, UINT32_MAX);
-
-    if (wr.slot >= 0) {
-        TbSlot &ts = slots_[static_cast<size_t>(wr.slot)];
-        ts.faultReadyAt = std::max(ts.faultReadyAt, in.mem.resolveAll);
-        if (cfg_.blockSwitching && ts.state == TbSlot::State::Running &&
-            in.mem.kind != vm::FaultKind::GpuAlloc)
-            considerSwitch(wr.slot, in.mem.queueDepth, now);
     }
 }
 
 void
 Sm::onWarpResume(int w, Cycle now)
 {
-    WarpRt &wr = warps_[static_cast<size_t>(w)];
+    WarpRt &wr = st_.warps[static_cast<size_t>(w)];
     if (wr.slot < 0 || !wr.faultBlocked || now < wr.blockedUntil)
         return; // stale (block switched out, or deadline extended)
     wr.faultBlocked = false;
-    wakeWarp(w);
-    didWork_ = true;
+    st_.wakeWarp(w);
+    st_.didWork = true;
 }
 
 void
 Sm::checkWarpFinished(int w, Cycle now)
 {
-    WarpRt &wr = warps_[static_cast<size_t>(w)];
+    WarpRt &wr = st_.warps[static_cast<size_t>(w)];
     if (wr.finished || wr.slot < 0)
         return;
     if (wr.fetchIdx >= wr.tr->insts.size() && wr.replayQ.empty() &&
         wr.ibuf.empty() && wr.inflight == 0 && !wr.faultBlocked) {
         wr.finished = true;
-        TbSlot &ts = slots_[static_cast<size_t>(wr.slot)];
+        TbSlot &ts = st_.slots[static_cast<size_t>(wr.slot)];
         ++ts.warpsFinished;
         releaseBarrierIfReady(wr.slot);
         if (ts.warpsFinished == ts.numWarps)
@@ -935,33 +292,33 @@ Sm::checkWarpFinished(int w, Cycle now)
 void
 Sm::releaseBarrierIfReady(int slot)
 {
-    TbSlot &ts = slots_[static_cast<size_t>(slot)];
+    TbSlot &ts = st_.slots[static_cast<size_t>(slot)];
     int waiting = 0;
     for (int j = 0; j < ts.numWarps; ++j)
-        if (warps_[static_cast<size_t>(ts.firstWarp + j)].waitingBarrier)
+        if (st_.warps[static_cast<size_t>(ts.firstWarp + j)].waitingBarrier)
             ++waiting;
     if (waiting == 0)
         return;
     if (waiting + ts.warpsFinished == ts.numWarps) {
         for (int j = 0; j < ts.numWarps; ++j) {
-            warps_[static_cast<size_t>(ts.firstWarp + j)].waitingBarrier =
-                false;
-            wakeWarp(ts.firstWarp + j);
+            st_.warps[static_cast<size_t>(ts.firstWarp + j)]
+                .waitingBarrier = false;
+            st_.wakeWarp(ts.firstWarp + j);
         }
-        didWork_ = true;
+        st_.didWork = true;
     }
 }
 
 void
 Sm::finishBlock(int slot, Cycle now)
 {
-    TbSlot &ts = slots_[static_cast<size_t>(slot)];
+    TbSlot &ts = st_.slots[static_cast<size_t>(slot)];
     for (int j = 0; j < ts.numWarps; ++j) {
-        warps_[static_cast<size_t>(ts.firstWarp + j)] = WarpRt{};
-        wakeWarp(ts.firstWarp + j);
+        st_.warps[static_cast<size_t>(ts.firstWarp + j)] = WarpRt{};
+        st_.wakeWarp(ts.firstWarp + j);
     }
     ts = TbSlot{};
-    ++blocksCompleted_;
+    ++st_.blocksCompleted;
     fillEmptySlots(now);
 }
 
@@ -971,10 +328,10 @@ Sm::finishBlock(int slot, Cycle now)
 Cycle
 Sm::drainTime(int slot) const
 {
-    const TbSlot &ts = slots_[static_cast<size_t>(slot)];
+    const TbSlot &ts = st_.slots[static_cast<size_t>(slot)];
     Cycle t = 0;
     for (int j = 0; j < ts.numWarps; ++j)
-        t = std::max(t, warps_[static_cast<size_t>(ts.firstWarp + j)]
+        t = std::max(t, st_.warps[static_cast<size_t>(ts.firstWarp + j)]
                             .maxCommitScheduled);
     return t;
 }
@@ -982,13 +339,13 @@ Sm::drainTime(int slot) const
 void
 Sm::considerSwitch(int slot, int queue_depth, Cycle now)
 {
-    const TbSlot &ts = slots_[static_cast<size_t>(slot)];
-    if (now < ts.installedAt + cfg_.minResidencyBeforeSwitch)
+    const TbSlot &ts = st_.slots[static_cast<size_t>(slot)];
+    if (now < ts.installedAt + st_.cfg.minResidencyBeforeSwitch)
         return; // anti-churn: freshly installed blocks stay put
-    if (!gpu::shouldSwitchOnFault(cfg_, queue_depth, ownedBlocks(),
-                                  static_cast<int>(slots_.size()),
+    if (!gpu::shouldSwitchOnFault(st_.cfg, queue_depth, ownedBlocks(),
+                                  static_cast<int>(st_.slots.size()),
                                   supply_.hasPending(),
-                                  static_cast<int>(offchip_.size())))
+                                  static_cast<int>(st_.offchip.size())))
         return;
     beginDrain(slot, now);
 }
@@ -996,71 +353,74 @@ Sm::considerSwitch(int slot, int queue_depth, Cycle now)
 void
 Sm::beginDrain(int slot, Cycle now)
 {
-    TbSlot &ts = slots_[static_cast<size_t>(slot)];
+    TbSlot &ts = st_.slots[static_cast<size_t>(slot)];
     ts.state = TbSlot::State::Draining;
     for (int j = 0; j < ts.numWarps; ++j) {
-        WarpRt &w = warps_[static_cast<size_t>(ts.firstWarp + j)];
+        WarpRt &w = st_.warps[static_cast<size_t>(ts.firstWarp + j)];
         w.frozen = true;
-        wakeWarp(ts.firstWarp + j);
-        revertIbuf(w);
+        st_.wakeWarp(ts.firstWarp + j);
+        st_.revertIbuf(w);
     }
-    scheduleEvent(std::max(drainTime(slot), now + 1), EvKind::SaveReady,
-                  slot, UINT32_MAX);
+    st_.scheduleEvent(std::max(drainTime(slot), now + 1),
+                      EvKind::SaveReady, slot, UINT32_MAX);
 }
 
 void
 Sm::fillEmptySlots(Cycle now)
 {
-    for (size_t s = 0; s < slots_.size(); ++s) {
-        TbSlot &ts = slots_[s];
+    for (size_t s = 0; s < st_.slots.size(); ++s) {
+        TbSlot &ts = st_.slots[s];
         if (ts.state != TbSlot::State::Empty)
             continue;
 
         // 1) A switched-out block whose faults all resolved.
         int best = -1;
-        for (size_t o = 0; o < offchip_.size(); ++o) {
-            if (offchip_[o].readyAt <= now &&
-                (best < 0 || offchip_[o].readyAt <
-                                 offchip_[static_cast<size_t>(best)].readyAt))
+        for (size_t o = 0; o < st_.offchip.size(); ++o) {
+            if (st_.offchip[o].readyAt <= now &&
+                (best < 0 ||
+                 st_.offchip[o].readyAt <
+                     st_.offchip[static_cast<size_t>(best)].readyAt))
                 best = static_cast<int>(o);
         }
         if (best >= 0) {
-            OffchipBlock ob = std::move(offchip_[static_cast<size_t>(best)]);
-            offchip_.erase(offchip_.begin() + best);
+            OffchipBlock ob =
+                std::move(st_.offchip[static_cast<size_t>(best)]);
+            st_.offchip.erase(st_.offchip.begin() + best);
             ts.state = TbSlot::State::Restoring;
             Cycle done;
-            if (cfg_.idealContextSwitch) {
+            if (st_.cfg.idealContextSwitch) {
                 done = now + 1;
             } else {
-                done = sys_.bulkDramTraffic(now, li_.contextBytesPerBlock) +
-                       cfg_.contextSwitchOverhead;
-                contextBytesMoved_ += li_.contextBytesPerBlock;
+                done = sys_.bulkDramTraffic(now,
+                                            st_.li.contextBytesPerBlock) +
+                       st_.cfg.contextSwitchOverhead;
+                st_.contextBytesMoved += st_.li.contextBytesPerBlock;
             }
-            std::uint32_t rid = static_cast<std::uint32_t>(
-                restorePending_.size());
-            for (std::uint32_t r = 0; r < restorePending_.size(); ++r) {
-                if (restorePending_[r].bt == nullptr) {
+            std::uint32_t rid =
+                static_cast<std::uint32_t>(st_.restorePending.size());
+            for (std::uint32_t r = 0; r < st_.restorePending.size(); ++r) {
+                if (st_.restorePending[r].bt == nullptr) {
                     rid = r;
                     break;
                 }
             }
-            if (rid == restorePending_.size())
-                restorePending_.push_back(OffchipBlock{});
-            restorePending_[rid] = std::move(ob);
-            scheduleEvent(done, EvKind::RestoreDone,
-                          static_cast<std::int32_t>(s), rid);
+            if (rid == st_.restorePending.size())
+                st_.restorePending.push_back(OffchipBlock{});
+            st_.restorePending[rid] = std::move(ob);
+            st_.scheduleEvent(done, EvKind::RestoreDone,
+                              static_cast<std::int32_t>(s), rid);
             continue;
         }
 
         // 2) A fresh pending block from the global scheduler.
         if (supply_.hasPending() &&
             ownedBlocks() <
-                static_cast<int>(slots_.size()) + cfg_.maxExtraBlocks) {
+                static_cast<int>(st_.slots.size()) + st_.cfg.maxExtraBlocks) {
             const trace::BlockTrace *bt = supply_.nextBlock();
             if (bt) {
                 installBlock(static_cast<int>(s), bt, now, nullptr);
-                if (!offchip_.empty())
-                    ++newBlocksViaSwitch_;
+                if (!st_.offchip.empty())
+                    ++st_.newBlocksViaSwitch;
                 continue;
             }
         }
@@ -1068,15 +428,15 @@ Sm::fillEmptySlots(Cycle now)
         // 3) Wait for the earliest off-chip block to become ready.
         // One pending retry per SM: a retry re-runs this whole scan,
         // so per-slot events would multiply.
-        if (!offchip_.empty()) {
+        if (!st_.offchip.empty()) {
             Cycle earliest = kNoCycle;
-            for (const auto &ob : offchip_)
+            for (const auto &ob : st_.offchip)
                 earliest = std::min(earliest, ob.readyAt);
             Cycle at = std::max(earliest, now + 1);
-            if (slotRetryAt_ == kNoCycle || at < slotRetryAt_) {
-                slotRetryAt_ = at;
-                scheduleEvent(at, EvKind::SlotRetry,
-                              static_cast<std::int32_t>(s), UINT32_MAX);
+            if (st_.slotRetryAt == kNoCycle || at < st_.slotRetryAt) {
+                st_.slotRetryAt = at;
+                st_.scheduleEvent(at, EvKind::SlotRetry,
+                                  static_cast<std::int32_t>(s), UINT32_MAX);
             }
         }
     }
@@ -1087,28 +447,31 @@ Sm::fillEmptySlots(Cycle now)
 void
 Sm::collectStats(StatSet &s) const
 {
-    lsu_.collectStats(s);
-    if (policy_.usesOperandLog)
-        log_.collectStats(s);
-    s.add("sm.insts_committed", static_cast<double>(instsCommitted_));
-    s.add("sm.insts_issued", static_cast<double>(instsIssued_));
-    s.add("sm.fetches", static_cast<double>(fetches_));
-    s.add("sm.stall_scoreboard", static_cast<double>(stallScoreboard_));
-    s.add("sm.stall_log", static_cast<double>(stallLog_));
-    s.add("sm.stall_lsu_queue", static_cast<double>(stallLsuQueue_));
-    s.add("sm.faults_reacted", static_cast<double>(faultsSeen_));
-    s.add("sm.faults_joined", static_cast<double>(faultsJoined_));
-    s.add("sm.faults_gpu_handled", static_cast<double>(faultsGpuHandled_));
-    s.add("sm.switch_outs", static_cast<double>(switchOuts_));
-    s.add("sm.switch_ins", static_cast<double>(switchIns_));
+    st_.lsu.collectStats(s);
+    if (st_.policy.usesOperandLog)
+        st_.log.collectStats(s);
+    s.add("sm.insts_committed", static_cast<double>(st_.instsCommitted));
+    s.add("sm.insts_issued", static_cast<double>(st_.instsIssued));
+    s.add("sm.fetches", static_cast<double>(st_.fetches));
+    s.add("sm.stall_scoreboard", static_cast<double>(st_.stallScoreboard));
+    s.add("sm.stall_log", static_cast<double>(st_.stallLog));
+    s.add("sm.stall_lsu_queue", static_cast<double>(st_.stallLsuQueue));
+    s.add("sm.faults_reacted", static_cast<double>(st_.faultsSeen));
+    s.add("sm.faults_joined", static_cast<double>(st_.faultsJoined));
+    s.add("sm.faults_gpu_handled",
+          static_cast<double>(st_.faultsGpuHandled));
+    s.add("sm.switch_outs", static_cast<double>(st_.switchOuts));
+    s.add("sm.switch_ins", static_cast<double>(st_.switchIns));
     s.add("sm.new_blocks_via_switch",
-          static_cast<double>(newBlocksViaSwitch_));
-    s.add("sm.system_mode_cycles", static_cast<double>(systemModeCycles_));
-    s.add("sm.traps_handled", static_cast<double>(trapsHandled_));
+          static_cast<double>(st_.newBlocksViaSwitch));
+    s.add("sm.system_mode_cycles",
+          static_cast<double>(st_.systemModeCycles));
+    s.add("sm.traps_handled", static_cast<double>(st_.trapsHandled));
     s.add("sm.arith_reported_only",
-          static_cast<double>(arithReportedOnly_));
-    s.add("sm.context_bytes_moved", static_cast<double>(contextBytesMoved_));
-    s.add("sm.blocks_completed", static_cast<double>(blocksCompleted_));
+          static_cast<double>(st_.arithReportedOnly));
+    s.add("sm.context_bytes_moved",
+          static_cast<double>(st_.contextBytesMoved));
+    s.add("sm.blocks_completed", static_cast<double>(st_.blocksCompleted));
 }
 
 } // namespace gex::sm

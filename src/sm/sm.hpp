@@ -5,32 +5,25 @@
  * issue, latency-modeled backend units, an LSU with translation and
  * fault handling, out-of-order commit — plus the five exception
  * schemes and the UC1 local scheduler (block switching on fault).
+ *
+ * The per-cycle pipeline logic lives in the stage modules under
+ * sm/stages (fetch, decode, issue, operand-collect, mem-check,
+ * commit), all ticking over one shared PipelineState (sm/pipeline.hpp).
+ * Sm owns that state, dispatches the event heap to the stages, and
+ * keeps the block lifecycle: launch, barriers, block completion and
+ * the UC1 drain/save/restore context-switch machinery.
  */
 
 #ifndef GEX_SM_SM_HPP
 #define GEX_SM_SM_HPP
 
-#include <queue>
-#include <vector>
-
-#include "common/ring.hpp"
-#include "func/kernel.hpp"
-#include "gpu/config.hpp"
-#include "sm/exception_model.hpp"
-#include "sm/lsu.hpp"
-#include "sm/scoreboard.hpp"
-#include "trace/trace.hpp"
+#include "sm/pipeline.hpp"
+#include "sm/stages/commit.hpp"
+#include "sm/stages/fetch.hpp"
+#include "sm/stages/issue.hpp"
+#include "sm/stages/mem_check.hpp"
 
 namespace gex::sm {
-
-/** Per-kernel launch geometry computed by the GPU front end. */
-struct LaunchInfo {
-    const func::Kernel *kernel = nullptr;
-    const trace::KernelTrace *trace = nullptr;
-    int warpsPerBlock = 0;
-    int blocksPerSm = 0;           ///< occupancy (resident TBs per SM)
-    std::uint64_t contextBytesPerBlock = 0;
-};
 
 /** Source of pending thread blocks (the global TB scheduler). */
 class BlockSupply
@@ -56,7 +49,7 @@ class Sm
 
     /** Advance one cycle; sets didWork() when any state changed. */
     void tick(Cycle now);
-    bool didWork() const { return didWork_; }
+    bool didWork() const { return st_.didWork; }
 
     /** Earliest future event, or kNoCycle when quiescent. */
     Cycle nextEventCycle() const;
@@ -68,149 +61,25 @@ class Sm
 
     void collectStats(StatSet &s) const;
 
-    std::uint64_t instsCommitted() const { return instsCommitted_; }
+    std::uint64_t instsCommitted() const { return st_.instsCommitted; }
 
-  private:
-    enum class EvKind : std::uint8_t {
-        SourceRelease, LastCheck, Commit, FaultReact, WarpResume,
-        SaveReady, SaveDone, RestoreDone, SlotRetry, TrapEnter,
-    };
+    /**
+     * Attach a pipeline observer (nullptr detaches). The observer
+     * receives every instruction-lifecycle event this SM emits; with
+     * none attached the emission sites are single predicted branches.
+     */
+    void setObserver(obs::PipelineObserver *o) { st_.obs = o; }
 
-    struct Event {
-        Cycle cycle;
-        std::uint64_t seq;
-        EvKind kind;
-        std::int32_t arg;   ///< warp or slot index
-        std::uint32_t id;   ///< inflight pool index (when applicable)
-        bool
-        operator>(const Event &o) const
-        {
-            return cycle != o.cycle ? cycle > o.cycle : seq > o.seq;
-        }
-    };
+    /** UC1 hook for the mem-check stage: maybe drain this block. */
+    void considerSwitch(int slot, int queue_depth, Cycle now);
 
-    struct Inflight {
-        std::uint32_t traceIdx = 0;
-        int warp = -1;
-        const trace::TraceInst *ti = nullptr;
-        const isa::Instruction *si = nullptr;
-        Cycle commitAt = 0;
-        MemTimeline mem;
-        bool isGlobalMem = false;
-        bool isControl = false;
-        bool isArithBarrier = false; ///< wd fetch barrier for arith exc.
-        bool squashed = false;
-        bool sourcesHeld = false;
-        bool dstHeld = false;
-        bool logHeld = false;
-        std::uint32_t logBytes = 0;
-        int logPartition = 0;
-        int eventsLeft = 0;    ///< pool slot frees when this hits 0
-        bool live = false;
-    };
-
-    struct InstBufEntry {
-        std::uint32_t idx;
-        Cycle readyAt;
-    };
-
-    struct WarpRt {
-        // The fields below are everything the fetch/issue scans touch
-        // for a warp that cannot make progress this cycle; they are
-        // kept together (ahead of the rings) so a failing scan reads
-        // one cache line per warp.
-        int slot = -1;
-        int controlPending = 0;
-        bool wdFetchDisable = false;
-        bool waitingBarrier = false;
-        bool exitFetched = false;
-        bool exitCommitted = false;
-        bool finished = false;
-        bool faultBlocked = false;
-        bool frozen = false;       ///< TB draining for a context switch
-        std::uint32_t fetchIdx = 0;
-        const trace::WarpTrace *tr = nullptr;
-        Cycle fetchResumeAt = 0;   ///< wd re-enable pipeline refill
-        /**
-         * Issue-stall memo: the head trace index that last failed the
-         * scoreboard checks and the warp's scoreboard generation at
-         * that moment. While both still match, the same checks would
-         * fail identically, so the issue stage re-registers the stall
-         * without re-decoding the instruction.
-         */
-        std::uint32_t sbStallIdx = UINT32_MAX;
-        std::uint64_t sbStallGen = 0;
-        // Inline ring buffers: the fetch/issue stages scan every warp
-        // every cycle, so the common-case queue state lives inside the
-        // WarpRt itself (no per-entry heap nodes to chase).
-        Ring<InstBufEntry, 4> ibuf;
-        Ring<std::uint32_t, 4> replayQ;
-        int inflight = 0;
-        Cycle blockedUntil = 0;
-        Cycle maxCommitScheduled = 0;
-
-        bool
-        schedulable() const
-        {
-            return slot >= 0 && !finished && !waitingBarrier &&
-                   !faultBlocked && !frozen;
-        }
-    };
-
-    struct TbSlot {
-        enum class State : std::uint8_t {
-            Empty, Running, Draining, Saving, Restoring,
-        };
-        State state = State::Empty;
-        std::uint32_t blockId = 0;
-        const trace::BlockTrace *bt = nullptr;
-        int firstWarp = 0;
-        int numWarps = 0;
-        int warpsFinished = 0;
-        Cycle faultReadyAt = 0;
-        Cycle installedAt = 0; ///< for the UC1 anti-churn residency rule
-    };
-
-    struct SavedWarp {
-        std::uint32_t fetchIdx = 0;
-        Ring<std::uint32_t, 4> replayQ;
-        bool waitingBarrier = false;
-        bool finished = false;
-    };
-
-    struct OffchipBlock {
-        std::uint32_t blockId = 0;
-        const trace::BlockTrace *bt = nullptr;
-        std::vector<SavedWarp> warps;
-        Cycle readyAt = 0;
-    };
-
-    // --- pipeline stages -------------------------------------------------
-    void processEvents(Cycle now);
-    void doFetch(Cycle now);
-    void doIssue(Cycle now);
-    bool tryIssueHead(int w, Cycle now);
-
-    // --- event reactions -------------------------------------------------
-    void onCommit(Inflight &in, Cycle now);
-    void onLastCheck(Inflight &in, Cycle now);
-    void onFaultReact(Inflight &in, Cycle now);
-    void onWarpResume(int w, Cycle now);
-
-    // --- helpers ---------------------------------------------------------
-    std::uint32_t allocInflight();
-    /** Schedule a non-instruction event (id is free payload). */
-    void scheduleEvent(Cycle cycle, EvKind kind, std::int32_t arg,
-                       std::uint32_t id);
-    /** Schedule an event referencing inflight record @p id. */
-    void scheduleInstEvent(Cycle cycle, EvKind kind, std::int32_t arg,
-                           std::uint32_t id);
-    void retireEventRef(std::uint32_t id);
-    void squash(Inflight &in, Cycle now);
-    void revertIbuf(WarpRt &w);
-    void insertReplay(WarpRt &w, std::uint32_t trace_idx);
+    /** Commit-stage hooks into the block lifecycle. */
     void checkWarpFinished(int w, Cycle now);
     void releaseBarrierIfReady(int slot);
+
+  private:
+    void processEvents(Cycle now);
+    void onWarpResume(int w, Cycle now);
     void finishBlock(int slot, Cycle now);
     void installBlock(int slot, const trace::BlockTrace *bt, Cycle now,
                       const OffchipBlock *restore_from);
@@ -218,98 +87,17 @@ class Sm
     int ownedBlocks() const;
 
     // --- UC1: block switching --------------------------------------------
-    void considerSwitch(int slot, int queue_depth, Cycle now);
     void beginDrain(int slot, Cycle now);
     Cycle drainTime(int slot) const;
 
-    int id_;
-    const gpu::GpuConfig &cfg_;
+    PipelineState st_;
     MemorySystem &sys_;
     BlockSupply &supply_;
-    SchemePolicy policy_;
-    Scoreboard sb_;
-    OperandLog log_;
-    Lsu lsu_;
 
-    LaunchInfo li_;
-    /**
-     * Warps actually populated by the current kernel (blocksPerSm ×
-     * warpsPerBlock). The fetch/issue scans rotate over only these;
-     * slots past the count can never become schedulable, and skipping
-     * them preserves the visit order of the live ones exactly.
-     */
-    int activeWarps_ = 0;
-    std::vector<WarpRt> warps_;
-    /**
-     * Fetch gate cache, one byte per warp: 1 means the last fetch scan
-     * found the warp blocked for a *state* reason (buffer full, pending
-     * control, fetch-disable, trace drained, unschedulable) — nothing
-     * time-based. Until some event mutates the warp (wakeFetch), a
-     * rescan would reproduce the same result, so doFetch skips the
-     * warp after one byte read instead of touching its WarpRt. Warps
-     * blocked only on fetchResumeAt are never marked (time unblocks
-     * them without an accompanying state change). Skipped scans have
-     * no side effects (no counters, no didWork), so this is invisible
-     * to simulation results.
-     */
-    std::vector<std::uint8_t> fetchBlocked_;
-    /**
-     * Issue gate cache, one byte per warp: 1 means the warp is
-     * schedulable, its ibuf head has passed its ready cycle, and that
-     * head already failed the scoreboard checks with no scoreboard
-     * change since. A rescan would fail the same way with exactly one
-     * stallScoreboard_ increment, so the issue scan performs just that
-     * increment off one byte read. Any event that could change the
-     * warp's schedulability, ibuf head, or scoreboard state clears the
-     * byte (wakeWarp) and the next scan re-runs the full checks.
-     */
-    std::vector<std::uint8_t> issueStalled_;
-    void
-    wakeWarp(int w)
-    {
-        fetchBlocked_[static_cast<std::size_t>(w)] = 0;
-        issueStalled_[static_cast<std::size_t>(w)] = 0;
-    }
-    std::vector<TbSlot> slots_;
-    std::vector<OffchipBlock> offchip_;
-    std::vector<OffchipBlock> restorePending_;
-    int extraBlocksBrought_ = 0;
-    Cycle lsuIssuedAt_ = kNoCycle;
-    /** Earliest pending SlotRetry event (dedup; kNoCycle = none). */
-    Cycle slotRetryAt_ = kNoCycle;
-
-    std::vector<Inflight> pool_;
-    std::vector<std::uint32_t> freeList_;
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
-    std::uint64_t eventSeq_ = 0;
-
-    mem::Port mathPort_;
-    mem::Port sfuPort_;
-    mem::Port branchPort_;
-    mem::Port sharedPort_;
-    int inflightMem_ = 0;
-    int rrFetch_ = 0;
-    int rrIssue_ = 0;
-    bool didWork_ = false;
-
-    // statistics
-    std::uint64_t instsCommitted_ = 0;
-    std::uint64_t instsIssued_ = 0;
-    std::uint64_t fetches_ = 0;
-    std::uint64_t stallScoreboard_ = 0;
-    std::uint64_t stallLog_ = 0;
-    std::uint64_t stallLsuQueue_ = 0;
-    std::uint64_t faultsSeen_ = 0;
-    std::uint64_t faultsJoined_ = 0;
-    std::uint64_t faultsGpuHandled_ = 0;
-    std::uint64_t switchOuts_ = 0;
-    std::uint64_t switchIns_ = 0;
-    std::uint64_t newBlocksViaSwitch_ = 0;
-    std::uint64_t systemModeCycles_ = 0;
-    std::uint64_t trapsHandled_ = 0;
-    std::uint64_t arithReportedOnly_ = 0;
-    std::uint64_t contextBytesMoved_ = 0;
-    std::uint64_t blocksCompleted_ = 0;
+    FetchStage fetch_;
+    IssueStage issue_;
+    MemCheckStage memCheck_;
+    CommitStage commit_;
 };
 
 } // namespace gex::sm

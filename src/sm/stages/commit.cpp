@@ -1,0 +1,79 @@
+#include "sm/stages/commit.hpp"
+
+#include <algorithm>
+
+#include "sm/sm.hpp"
+#include "sm/stages/operand_collect.hpp"
+
+namespace gex::sm {
+
+using isa::Opcode;
+
+void
+CommitStage::onCommit(Inflight &in, Cycle now)
+{
+    WarpRt &wr = st_.warps[static_cast<size_t>(in.warp)];
+    const isa::Instruction &si = *in.si;
+
+    if (in.sourcesHeld) {
+        // Safety net (e.g. replay-queue mem inst whose last check and
+        // commit coincide and ordering put commit first).
+        releaseSources(st_, in, now);
+    }
+    if (in.dstHeld)
+        releaseDestinations(st_, in);
+    if (in.logHeld)
+        releaseLogSpace(st_, in, now);
+    if (in.isControl) {
+        GEX_ASSERT(wr.controlPending > 0);
+        --wr.controlPending;
+    }
+    if (in.isArithBarrier && wr.wdFetchDisable) {
+        // Arithmetic fetch barriers re-enable at commit in both
+        // warp-disable variants (there is no TLB check to wait for).
+        wr.wdFetchDisable = false;
+        wr.fetchResumeAt = now + st_.cfg.sm.fetchRestartPenalty;
+        st_.scheduleEvent(wr.fetchResumeAt, EvKind::WarpResume, in.warp,
+                          UINT32_MAX);
+        st_.emitWarp(now, obs::PipeEventKind::FetchReenabled, in.warp);
+    }
+    if (in.isGlobalMem) {
+        --st_.inflightMem;
+        if (st_.policy.reenableFetchAtCommit() && wr.wdFetchDisable) {
+            wr.wdFetchDisable = false;
+            wr.fetchResumeAt = now + st_.cfg.sm.fetchRestartPenalty;
+            st_.scheduleEvent(wr.fetchResumeAt, EvKind::WarpResume,
+                              in.warp, UINT32_MAX);
+            st_.emitWarp(now, obs::PipeEventKind::FetchReenabled, in.warp);
+        }
+    }
+    if (si.op == Opcode::BAR && wr.slot >= 0) {
+        wr.waitingBarrier = true;
+        sm_.releaseBarrierIfReady(wr.slot);
+    }
+
+    --wr.inflight;
+    ++st_.instsCommitted;
+    st_.emitInst(now, obs::PipeEventKind::Committed, in);
+    st_.wakeWarp(in.warp);
+    sm_.checkWarpFinished(in.warp, now);
+}
+
+void
+CommitStage::onTrapEnter(Inflight &in, Cycle now)
+{
+    WarpRt &wr = st_.warps[static_cast<size_t>(in.warp)];
+    if (wr.slot >= 0) {
+        wr.faultBlocked = true;
+        st_.wakeWarp(in.warp);
+        wr.blockedUntil =
+            std::max(wr.blockedUntil, now + st_.cfg.trapHandlerCycles);
+        st_.scheduleEvent(wr.blockedUntil, EvKind::WarpResume, in.warp,
+                          UINT32_MAX);
+        ++st_.trapsHandled;
+        st_.systemModeCycles += st_.cfg.trapHandlerCycles;
+        st_.emitInst(now, obs::PipeEventKind::TrapEntered, in);
+    }
+}
+
+} // namespace gex::sm

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Writeback/commit stage: out-of-order retirement at each
+ * instruction's completion cycle. Commit is the scheme-independent
+ * cleanup point — any scoreboard holds, operand-log space or fetch
+ * barriers an earlier stage did not release fall away here — plus the
+ * entry point into the trap handler for completed arithmetic faults.
+ */
+
+#ifndef GEX_SM_STAGES_COMMIT_HPP
+#define GEX_SM_STAGES_COMMIT_HPP
+
+#include "sm/pipeline.hpp"
+
+namespace gex::sm {
+
+class Sm;
+
+class CommitStage
+{
+  public:
+    CommitStage(PipelineState &st, Sm &sm) : st_(st), sm_(sm) {}
+
+    /** Retire @p in: release everything still held, update the warp. */
+    void onCommit(Inflight &in, Cycle now);
+
+    /**
+     * A completed arithmetic-fault instruction enters the trap
+     * handler: the warp runs in system mode for trapHandlerCycles (no
+     * replay — the instruction committed).
+     */
+    void onTrapEnter(Inflight &in, Cycle now);
+
+  private:
+    PipelineState &st_;
+    Sm &sm_;
+};
+
+} // namespace gex::sm
+
+#endif // GEX_SM_STAGES_COMMIT_HPP

@@ -1,0 +1,235 @@
+#include "sm/stages/issue.hpp"
+
+#include <algorithm>
+
+#include "sm/stages/decode.hpp"
+#include "sm/stages/operand_collect.hpp"
+
+namespace gex::sm {
+
+using isa::Instruction;
+using isa::Unit;
+
+void
+IssueStage::tick(Cycle now)
+{
+    // Same live-warp scan bound (and divide-free rotation) as fetch.
+    const int n = st_.activeWarps;
+    const bool greedy =
+        st_.cfg.sm.schedPolicy == gpu::SchedPolicy::GreedyThenOldest;
+    const int scan =
+        greedy ? std::min(n, static_cast<int>(st_.warps.size()) - 1) + 1
+               : n;
+    int lrr = std::min(st_.rrIssue, n - 1) + 1;
+    if (lrr == n)
+        lrr = 0;
+    int total = 0;
+    int warps_used = 0;
+    int last_issued = st_.rrIssue;
+    for (int i = 0;
+         i < scan && total < st_.cfg.sm.issueWidth && warps_used < 2;
+         ++i) {
+        int w;
+        if (greedy) {
+            w = i == 0 ? st_.rrIssue : i - 1;
+            if (i > 0 && w == st_.rrIssue)
+                continue;
+        } else {
+            w = lrr;
+            if (++lrr == n)
+                lrr = 0;
+        }
+        // Byte-gate: a warp whose head is known-stalled on an
+        // untouched scoreboard re-registers the stall (exactly one
+        // increment, as a full rescan would) off one byte read.
+        if (st_.issueStalled[static_cast<size_t>(w)]) {
+            ++st_.stallScoreboard;
+            continue;
+        }
+        // Cheap per-warp gates run inline; the full decode + check in
+        // tryIssueHead only runs for warps that might actually issue.
+        int k = 0;
+        WarpRt &wr = st_.warps[static_cast<size_t>(w)];
+        while (k < st_.cfg.sm.maxIssuePerWarp &&
+               total < st_.cfg.sm.issueWidth) {
+            if (!wr.schedulable() || wr.ibuf.empty() ||
+                wr.ibuf.front().readyAt > now)
+                break;
+            if (wr.ibuf.front().idx == wr.sbStallIdx &&
+                st_.sb.gen(w) == wr.sbStallGen) {
+                st_.issueStalled[static_cast<size_t>(w)] = 1;
+                ++st_.stallScoreboard;
+                break;
+            }
+            if (!tryIssueHead(w, now))
+                break;
+            ++k;
+            ++total;
+        }
+        if (k > 0) {
+            ++warps_used;
+            last_issued = w;
+        }
+    }
+    if (total > 0)
+        st_.rrIssue = last_issued;
+}
+
+bool
+IssueStage::tryIssueHead(int w, Cycle now)
+{
+    WarpRt &wr = st_.warps[static_cast<size_t>(w)];
+    if (!wr.schedulable() || wr.ibuf.empty() ||
+        wr.ibuf.front().readyAt > now)
+        return false;
+
+    const std::uint32_t idx = wr.ibuf.front().idx;
+    // Stall memo: this head already failed the scoreboard checks and
+    // no scoreboard entry of this warp changed since, so the same
+    // checks would fail again — register the stall without re-decoding.
+    if (idx == wr.sbStallIdx && st_.sb.gen(w) == wr.sbStallGen) {
+        ++st_.stallScoreboard;
+        return false;
+    }
+    const trace::TraceInst &ti = wr.tr->insts[idx];
+    const Instruction &si = decodeInst(st_, ti);
+    const auto &t = si.traits();
+
+    // --- scoreboard checks (RAW on sources, WAW+WAR on destinations) ---
+    // The checks depend only on the instruction and this warp's
+    // scoreboard state, so a failure stays valid until gen(w) moves.
+    if (!operandsReady(st_.sb, w, si)) {
+        wr.sbStallIdx = idx;
+        wr.sbStallGen = st_.sb.gen(w);
+        st_.issueStalled[static_cast<size_t>(w)] = 1;
+        ++st_.stallScoreboard;
+        return false;
+    }
+
+    const bool is_global = si.isGlobalMem();
+
+    // --- structural gates ---
+    if (is_global) {
+        if (st_.lsuIssuedAt == now) {
+            return false; // one memory instruction per cycle
+        }
+        if (st_.inflightMem >= st_.cfg.sm.lsuQueueDepth) {
+            ++st_.stallLsuQueue;
+            return false;
+        }
+    }
+
+    // --- operand log gate (OperandLog scheme) ---
+    std::uint32_t log_bytes = 0;
+    if (st_.policy.logAdmission(is_global, ti.numActive)) {
+        log_bytes = OperandLog::entryBytes(t.isStore || t.isAtomic);
+        if (!st_.log.tryAllocate(wr.slot, log_bytes)) {
+            ++st_.stallLog;
+            return false;
+        }
+    }
+
+    // --- issue ---
+    wr.ibuf.pop_front();
+    st_.wakeWarp(w); // buffer space freed
+    const Cycle op_read = now + 1;
+
+    std::uint32_t id = st_.allocInflight();
+    Inflight &in = st_.pool[id];
+    in.traceIdx = idx;
+    in.warp = w;
+    in.ti = &ti;
+    in.si = &si;
+    in.isGlobalMem = is_global;
+    in.isControl = si.isControl();
+    in.logHeld = log_bytes > 0;
+    in.logBytes = log_bytes;
+    in.logPartition = wr.slot;
+    st_.emitInst(now, obs::PipeEventKind::Issued, in);
+    if (in.logHeld)
+        st_.emitInst(now, obs::PipeEventKind::LogAllocated, in, log_bytes);
+
+    acquireOperands(st_, in, now);
+
+    bool faulted = false;
+    if (is_global) {
+        st_.lsuIssuedAt = now;
+        ++st_.inflightMem;
+        in.mem = st_.lsu.processGlobal(si, ti, wr.tr->lines(ti), op_read,
+                                       st_.policy.stallFaultsInPipeline(),
+                                       st_.cfg.faultRetryLatency);
+        faulted = in.mem.faulted;
+        if (faulted) {
+            st_.scheduleInstEvent(in.mem.faultDetect, EvKind::FaultReact,
+                                  w, id);
+        } else {
+            st_.scheduleInstEvent(in.mem.lastTlbCheck, EvKind::LastCheck,
+                                  w, id);
+            in.commitAt = in.mem.execDone + 1;
+            st_.scheduleInstEvent(in.commitAt, EvKind::Commit, w, id);
+        }
+        // Source release point depends on the scheme.
+        if (st_.policy.releaseSourcesAtOperandRead(true)) {
+            st_.scheduleInstEvent(op_read, EvKind::SourceRelease, w, id);
+        } else if (faulted) {
+            // Replay-queue scheme: sources stay held until the last
+            // TLB check, which never happens for a faulted
+            // instruction; they release when it is squashed.
+        }
+    } else {
+        Cycle start = 0;
+        Cycle lat = 1;
+        switch (t.unit) {
+          case Unit::Math:
+            start = st_.mathPort.reserve(op_read + 1);
+            lat = st_.cfg.sm.mathLatency;
+            break;
+          case Unit::Sfu:
+            start = st_.sfuPort.reserve(op_read + 1);
+            lat = st_.cfg.sm.sfuLatency;
+            break;
+          case Unit::Branch:
+            start = st_.branchPort.reserve(op_read + 1);
+            lat = st_.cfg.sm.branchLatency;
+            break;
+          case Unit::Shared:
+            start = st_.sharedPort.reserve(op_read + 1);
+            lat = st_.cfg.sm.sharedLatency;
+            break;
+          case Unit::None:
+          default:
+            start = op_read + 1;
+            lat = 0;
+            break;
+        }
+        in.commitAt = start + lat;
+        st_.scheduleInstEvent(in.commitAt, EvKind::Commit, w, id);
+        const bool arith_capable =
+            st_.cfg.arithExceptions && t.canRaiseArith;
+        in.isArithBarrier =
+            arith_capable && st_.policy.fetchDisableOnGlobalMem;
+        if (st_.policy.releaseSourcesAtOperandRead(arith_capable)) {
+            st_.scheduleInstEvent(op_read, EvKind::SourceRelease, w, id);
+        } else {
+            // Replay queue extension: sources of possibly-raising
+            // instructions release only once they are known safe
+            // (here: completion); see paper section 3.2.
+        }
+        if (arith_capable && ti.arithFault) {
+            if (st_.policy.preemptible)
+                st_.scheduleInstEvent(in.commitAt, EvKind::TrapEnter, w,
+                                      id);
+            else
+                ++st_.arithReportedOnly; // current GPUs: report, no recovery
+        }
+    }
+
+    ++wr.inflight;
+    wr.maxCommitScheduled = std::max(
+        wr.maxCommitScheduled, faulted ? in.mem.faultDetect : in.commitAt);
+    ++st_.instsIssued;
+    st_.didWork = true;
+    return true;
+}
+
+} // namespace gex::sm

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * LSU / TLB-check stage: reactions to the two outcomes of a
+ * global-memory instruction's translation — the last TLB check passed
+ * (the paper's Figure 5 event that wd-lastcheck, replay-queue and
+ * operand-log key their release/re-enable decisions on), or a request
+ * page-faulted (squash + replay under every preemptible scheme).
+ */
+
+#ifndef GEX_SM_STAGES_MEM_CHECK_HPP
+#define GEX_SM_STAGES_MEM_CHECK_HPP
+
+#include "sm/pipeline.hpp"
+
+namespace gex::sm {
+
+class Sm;
+
+class MemCheckStage
+{
+  public:
+    MemCheckStage(PipelineState &st, Sm &sm) : st_(st), sm_(sm) {}
+
+    /** All requests of @p in translated without fault. */
+    void onLastCheck(Inflight &in, Cycle now);
+
+    /** A request of @p in faulted: squash, queue for replay, block. */
+    void onFaultReact(Inflight &in, Cycle now);
+
+    /** Kill an in-flight instruction, releasing everything it holds. */
+    void squash(Inflight &in, Cycle now);
+
+  private:
+    PipelineState &st_;
+    Sm &sm_;
+};
+
+} // namespace gex::sm
+
+#endif // GEX_SM_STAGES_MEM_CHECK_HPP

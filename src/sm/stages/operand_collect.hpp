@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Operand-collect stage: acquisition and release of scoreboard
+ * entries (and the operand-log space that shadows them). *When* these
+ * helpers run is the essence of the paper's schemes — the issue stage
+ * acquires, then each scheme picks its release point (operand read,
+ * last TLB check, commit, or squash) through the SchemePolicy hooks —
+ * so the acquire/release mechanics live in one module and every stage
+ * calls the same code.
+ *
+ * Header-only and inline: these run per instruction on the timing
+ * loop's hot path.
+ */
+
+#ifndef GEX_SM_STAGES_OPERAND_COLLECT_HPP
+#define GEX_SM_STAGES_OPERAND_COLLECT_HPP
+
+#include "isa/instruction.hpp"
+#include "sm/pipeline.hpp"
+
+namespace gex::sm {
+
+/**
+ * Issue-stage readiness: RAW on every source (registers and
+ * predicates), WAW+WAR on every destination. Short-circuits on the
+ * first hazard; a false result is stable until the warp's scoreboard
+ * generation moves (the issue stage's stall memo relies on this).
+ */
+inline bool
+operandsReady(const Scoreboard &sb, int w, const isa::Instruction &si)
+{
+    using isa::Opcode;
+    const auto &t = si.traits();
+    for (int i = 0; i < t.numSrcs; ++i) {
+        if (i == 1 && si.useImm)
+            continue;
+        if (!sb.canRead(w, Scoreboard::regName(si.srcs[i])))
+            return false;
+    }
+    if (!sb.canRead(w, Scoreboard::predName(si.pred)))
+        return false;
+    if ((si.op == Opcode::SEL || si.op == Opcode::PSETP) &&
+        !sb.canRead(w, Scoreboard::predName(si.predA)))
+        return false;
+    if (si.op == Opcode::PSETP &&
+        !sb.canRead(w, Scoreboard::predName(si.predB)))
+        return false;
+    if (t.writesDst && !sb.canWrite(w, Scoreboard::regName(si.dst)))
+        return false;
+    if ((si.op == Opcode::SETP || si.op == Opcode::PSETP) &&
+        !sb.canWrite(w, Scoreboard::predName(si.predDst)))
+        return false;
+    return true;
+}
+
+/**
+ * Acquire every scoreboard entry of a just-issued instruction:
+ * source holds (WAR protection) and destination writes (RAW/WAW).
+ */
+inline void
+acquireOperands(PipelineState &st, Inflight &in, Cycle now)
+{
+    using isa::Opcode;
+    const isa::Instruction &si = *in.si;
+    const auto &t = si.traits();
+    const int w = in.warp;
+    for (int i = 0; i < t.numSrcs; ++i) {
+        if (i == 1 && si.useImm)
+            continue;
+        st.sb.acquireSource(w, Scoreboard::regName(si.srcs[i]));
+    }
+    st.sb.acquireSource(w, Scoreboard::predName(si.pred));
+    if (si.op == Opcode::SEL || si.op == Opcode::PSETP)
+        st.sb.acquireSource(w, Scoreboard::predName(si.predA));
+    if (si.op == Opcode::PSETP)
+        st.sb.acquireSource(w, Scoreboard::predName(si.predB));
+    in.sourcesHeld = true;
+    st.emitInst(now, obs::PipeEventKind::SourcesHeld, in);
+    if (t.writesDst) {
+        st.sb.acquireWrite(w, Scoreboard::regName(si.dst));
+        in.dstHeld = true;
+    }
+    if (si.op == Opcode::SETP || si.op == Opcode::PSETP) {
+        st.sb.acquireWrite(w, Scoreboard::predName(si.predDst));
+        in.dstHeld = true;
+    }
+}
+
+/**
+ * Release the source holds of @p in. The mem-check stage releases
+ * only the register sources and the guard predicate
+ * (@p extra_preds = false: a global-memory instruction has no
+ * SEL/PSETP predicate sources); every other release point covers the
+ * full set.
+ */
+inline void
+releaseSources(PipelineState &st, Inflight &in, Cycle now,
+               bool extra_preds = true)
+{
+    using isa::Opcode;
+    const isa::Instruction &si = *in.si;
+    const auto &t = si.traits();
+    for (int i = 0; i < t.numSrcs; ++i) {
+        if (i == 1 && si.useImm)
+            continue;
+        st.sb.releaseSource(in.warp, Scoreboard::regName(si.srcs[i]));
+    }
+    st.sb.releaseSource(in.warp, Scoreboard::predName(si.pred));
+    if (extra_preds) {
+        if (si.op == Opcode::SEL || si.op == Opcode::PSETP)
+            st.sb.releaseSource(in.warp, Scoreboard::predName(si.predA));
+        if (si.op == Opcode::PSETP)
+            st.sb.releaseSource(in.warp, Scoreboard::predName(si.predB));
+    }
+    in.sourcesHeld = false;
+    st.emitInst(now, obs::PipeEventKind::SourcesReleased, in);
+}
+
+/** Release the destination writes of @p in (commit or squash). */
+inline void
+releaseDestinations(PipelineState &st, Inflight &in)
+{
+    using isa::Opcode;
+    const isa::Instruction &si = *in.si;
+    if (si.traits().writesDst)
+        st.sb.releaseWrite(in.warp, Scoreboard::regName(si.dst));
+    if (si.op == Opcode::SETP || si.op == Opcode::PSETP)
+        st.sb.releaseWrite(in.warp, Scoreboard::predName(si.predDst));
+    in.dstHeld = false;
+}
+
+/** Release the operand-log space of @p in (last check/commit/squash). */
+inline void
+releaseLogSpace(PipelineState &st, Inflight &in, Cycle now)
+{
+    st.log.release(in.logPartition, in.logBytes);
+    in.logHeld = false;
+    st.emitInst(now, obs::PipeEventKind::LogReleased, in, in.logBytes);
+}
+
+} // namespace gex::sm
+
+#endif // GEX_SM_STAGES_OPERAND_COLLECT_HPP

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+
 #include "sm/exception_model.hpp"
 
 namespace gex::sm {
@@ -46,6 +48,82 @@ TEST(SchemePolicy, OperandLogRestoresBaselineScoreboarding)
     EXPECT_TRUE(p.usesOperandLog);
 }
 
+TEST(SchemePolicy, MakeTruthTable)
+{
+    // Every flag of every scheme, in one place (the five rows of the
+    // file comment in exception_model.hpp).
+    struct Row {
+        gpu::Scheme s;
+        bool fetchDisable, reenableLastCheck, holdSources, usesLog,
+            preemptible;
+    };
+    const Row rows[] = {
+        {gpu::Scheme::StallOnFault, false, false, false, false, false},
+        {gpu::Scheme::WarpDisableCommit, true, false, false, false, true},
+        {gpu::Scheme::WarpDisableLastCheck, true, true, false, false,
+         true},
+        {gpu::Scheme::ReplayQueue, false, false, true, false, true},
+        {gpu::Scheme::OperandLog, false, false, false, true, true},
+    };
+    ASSERT_EQ(std::size(rows), gpu::allSchemes().size());
+    for (const Row &r : rows) {
+        SchemePolicy p = SchemePolicy::make(r.s);
+        EXPECT_EQ(p.kind, r.s);
+        EXPECT_EQ(p.fetchDisableOnGlobalMem, r.fetchDisable)
+            << gpu::schemeName(r.s);
+        EXPECT_EQ(p.reenableAtLastCheck, r.reenableLastCheck)
+            << gpu::schemeName(r.s);
+        EXPECT_EQ(p.holdSourcesUntilLastCheck, r.holdSources)
+            << gpu::schemeName(r.s);
+        EXPECT_EQ(p.usesOperandLog, r.usesLog) << gpu::schemeName(r.s);
+        EXPECT_EQ(p.preemptible, r.preemptible) << gpu::schemeName(r.s);
+    }
+}
+
+TEST(SchemePolicy, StageHooksFollowFlags)
+{
+    // The named per-stage hooks are pure views of the flags; pin the
+    // mapping for every scheme so a stage module can rely on it.
+    for (gpu::Scheme s : gpu::allSchemes()) {
+        SchemePolicy p = SchemePolicy::make(s);
+
+        // Fetch: global-mem instructions are barriers only under the
+        // warp-disable schemes; arith-capable ones join in only when
+        // the extension is enabled.
+        EXPECT_EQ(p.fetchBarrier(true, false, false),
+                  p.fetchDisableOnGlobalMem);
+        EXPECT_EQ(p.fetchBarrier(false, true, true),
+                  p.fetchDisableOnGlobalMem);
+        EXPECT_FALSE(p.fetchBarrier(false, true, false));
+        EXPECT_FALSE(p.fetchBarrier(false, false, true));
+
+        // Issue: log admission applies to global-mem instructions with
+        // active lanes, under the operand-log scheme only.
+        EXPECT_EQ(p.logAdmission(true, 32), p.usesOperandLog);
+        EXPECT_FALSE(p.logAdmission(false, 32));
+        EXPECT_FALSE(p.logAdmission(true, 0));
+
+        // Operand read vs last check: exactly one release point for a
+        // faultable instruction, and non-faultable instructions always
+        // release at operand read.
+        EXPECT_EQ(p.releaseSourcesAtOperandRead(true),
+                  !p.releaseSourcesAtLastCheck());
+        EXPECT_TRUE(p.releaseSourcesAtOperandRead(false));
+
+        // Fetch re-enable: at most one of the two re-enable points,
+        // and one exists iff the scheme disables fetch at all.
+        EXPECT_FALSE(p.reenableFetchAtLastCheck() &&
+                     p.reenableFetchAtCommit());
+        EXPECT_EQ(p.reenableFetchAtLastCheck() || p.reenableFetchAtCommit(),
+                  p.fetchDisableOnGlobalMem);
+
+        // Fault action: squash+replay and stall-in-pipeline partition
+        // the schemes.
+        EXPECT_NE(p.squashOnFault(), p.stallFaultsInPipeline());
+        EXPECT_EQ(p.squashOnFault(), p.preemptible);
+    }
+}
+
 TEST(OperandLog, EntrySizesMatchPaper)
 {
     // Paper section 3.3: loads log one entry (8 B address x 32),
@@ -85,6 +163,38 @@ TEST(OperandLog, AllocateReleaseAccounting)
     log.release(0, 256);
     EXPECT_TRUE(log.tryAllocate(0, 256));
     EXPECT_EQ(log.used(0), 512u);
+}
+
+TEST(OperandLog, EntryBytesGateLoadVsStore)
+{
+    OperandLog log;
+    log.configure(8 * 1024, 16); // 512 B per partition
+    // A store-like entry exactly fills a partition: a second one (or
+    // even a load entry) must back-pressure until it releases.
+    EXPECT_TRUE(log.tryAllocate(3, OperandLog::entryBytes(true)));
+    EXPECT_FALSE(log.tryAllocate(3, OperandLog::entryBytes(false)));
+    log.release(3, OperandLog::entryBytes(true));
+    EXPECT_TRUE(log.tryAllocate(3, OperandLog::entryBytes(false)));
+    EXPECT_TRUE(log.tryAllocate(3, OperandLog::entryBytes(false)));
+    EXPECT_EQ(log.used(3), 512u);
+}
+
+TEST(OperandLog, BackPressureIsPerPartition)
+{
+    OperandLog log;
+    log.configure(4 * 1024, 8); // 512 B per partition
+    // Fill every even partition; odd partitions stay fully available,
+    // and each full partition recovers independently on release.
+    for (int p = 0; p < 8; p += 2) {
+        EXPECT_TRUE(log.tryAllocate(p, 512));
+        EXPECT_FALSE(log.tryAllocate(p, 256));
+    }
+    for (int p = 1; p < 8; p += 2)
+        EXPECT_TRUE(log.tryAllocate(p, 256));
+    log.release(2, 512);
+    EXPECT_TRUE(log.tryAllocate(2, 512));
+    EXPECT_FALSE(log.tryAllocate(0, 256)); // others still full
+    EXPECT_EQ(log.allocFailures(), 5u);
 }
 
 TEST(OperandLogDeath, ReleaseUnderflow)

@@ -62,17 +62,6 @@ usage()
         "  --list              list built-in workloads\n");
 }
 
-gpu::Scheme
-parseScheme(const std::string &s)
-{
-    if (s == "baseline") return gpu::Scheme::StallOnFault;
-    if (s == "wd-commit") return gpu::Scheme::WarpDisableCommit;
-    if (s == "wd-lastcheck") return gpu::Scheme::WarpDisableLastCheck;
-    if (s == "replay-queue") return gpu::Scheme::ReplayQueue;
-    if (s == "operand-log") return gpu::Scheme::OperandLog;
-    fatal("unknown scheme '%s'", s.c_str());
-}
-
 vm::VmPolicy
 parsePolicy(const std::string &p)
 {
@@ -141,7 +130,7 @@ main(int argc, char **argv)
     trace::KernelTrace tr = fsim.run(w.kernel);
 
     gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
-    cfg.scheme = parseScheme(o.scheme);
+    cfg.scheme = gpu::schemeFromName(o.scheme);
     cfg.operandLogBytes = o.logKb * 1024;
     cfg.numSms = o.sms;
     cfg.hostLink = o.link == "pcie" ? vm::HostLinkConfig::pcie()
