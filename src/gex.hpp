@@ -30,6 +30,8 @@
 #include "gpu/config.hpp"
 #include "gpu/gpu.hpp"
 #include "harness/sweep.hpp"
+#include "inject/fault_model.hpp"
+#include "inject/rng.hpp"
 #include "isa/program.hpp"
 #include "kasm/builder.hpp"
 #include "kasm/parser.hpp"

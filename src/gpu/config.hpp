@@ -142,6 +142,15 @@ struct GpuConfig {
     Cycle faultRetryLatency = 20;
 
     /**
+     * Emit the resilience stat block (`resil.*`, `mmu.injected_faults`)
+     * even on runs without an injected fault model, so fault-free
+     * reference runs of a campaign share the campaign's stat schema.
+     * Runs with injection enabled always emit it. Off by default: the
+     * golden-stats digests pin the historical stat set of plain runs.
+     */
+    bool resilienceStats = false;
+
+    /**
      * Extension (paper sections 3.1/3.2): make arithmetic exceptions
      * (divide by zero, ...) preemptible too. Under the warp-disable
      * schemes, instructions that can raise them become fetch barriers;

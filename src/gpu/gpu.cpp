@@ -51,6 +51,12 @@ Gpu::reset(const func::Kernel &kernel, const trace::KernelTrace &trace,
     mmu_cfg.localHandling = policy.localHandling;
     mmu_ = std::make_unique<vm::SystemMmu>(mmu_cfg, *dir_, *link_,
                                            *gpuHandler_);
+    injector_.reset();
+    if (policy.inject.enabled()) {
+        injector_ =
+            std::make_unique<inject::FaultInjector>(policy.inject);
+        mmu_->setInjector(injector_.get());
+    }
 
     vm::applyPolicy(*dir_, kernel, policy);
 
@@ -143,6 +149,16 @@ Gpu::run(const func::Kernel &kernel, const trace::KernelTrace &trace,
     link_->collectStats(r.stats);
     gpuHandler_->collectStats(r.stats);
     dir_->collectStats(r.stats);
+    // The resilience block is opt-in (injection active, or the
+    // resilienceStats knob): plain runs keep the exact stat set the
+    // golden digests were captured over.
+    if (injector_ || cfg_.resilienceStats) {
+        mmu_->collectResilienceStats(r.stats);
+        for (auto &s : sms_)
+            s->collectResilienceStats(r.stats);
+        if (injector_)
+            injector_->collectStats(r.stats);
+    }
     r.stats.set("gpu.cycles", static_cast<double>(r.cycles));
     r.stats.set("gpu.instructions", static_cast<double>(r.instructions));
     r.stats.set("gpu.ipc", r.ipc());

@@ -16,6 +16,7 @@
 #include "gpu/config.hpp"
 #include "gpu/context_switch.hpp"
 #include "gpu/tb_scheduler.hpp"
+#include "inject/fault_model.hpp"
 #include "mem/cache.hpp"
 #include "mem/dram.hpp"
 #include "sm/lsu.hpp"
@@ -106,6 +107,7 @@ class Gpu : public sm::MemorySystem
     std::unique_ptr<vm::PageDirectory> dir_;
     std::unique_ptr<vm::HostLink> link_;
     std::unique_ptr<vm::GpuFaultHandler> gpuHandler_;
+    std::unique_ptr<inject::FaultInjector> injector_;
     std::unique_ptr<vm::SystemMmu> mmu_;
     std::unique_ptr<TbScheduler> sched_;
     std::vector<std::unique_ptr<sm::Sm>> sms_;

@@ -170,6 +170,12 @@ SweepReport::writeJson(std::ostream &os) const
         w.key("series").value(r.spec.seriesLabel());
         w.key("scheme").value(gpu::schemeName(r.spec.cfg.scheme));
         w.key("policy").value(vm::policyName(r.spec.policy));
+        // Fault-injection coordinates of the run; "none"/0/seed for
+        // injection-free runs, so rows of one campaign stay uniform.
+        w.key("inject_model")
+            .value(inject::modelName(r.spec.policy.inject.model));
+        w.key("inject_rate").value(r.spec.policy.inject.rate);
+        w.key("inject_seed").value(r.spec.policy.inject.seed);
         w.key("cycles").value(
             static_cast<std::uint64_t>(r.result.cycles));
         w.key("instructions").value(r.result.instructions);

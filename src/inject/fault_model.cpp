@@ -1,0 +1,206 @@
+#include "inject/fault_model.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace gex::inject {
+
+namespace {
+
+// Stream ids partitioning the CounterRng draw space per decision kind.
+constexpr std::uint64_t kStreamDecision = 1;
+constexpr std::uint64_t kStreamTransition = 2;
+constexpr std::uint64_t kStreamRegion = 3;
+
+class BernoulliModel final : public FaultModel
+{
+  public:
+    explicit BernoulliModel(const InjectConfig &cfg)
+        : rate_(cfg.rate), rng_(cfg.seed, kStreamDecision)
+    {}
+
+    ModelKind kind() const override { return ModelKind::Bernoulli; }
+
+    bool
+    decide(Addr, std::uint64_t walk_idx) override
+    {
+        return rng_.realAt(walk_idx) < rate_;
+    }
+
+  private:
+    double rate_;
+    CounterRng rng_;
+};
+
+/**
+ * Two-state Markov chain advanced once per eligible walk: calm state
+ * faults at `rate`, storm state at `burstRate`. Storms model the
+ * correlated fault trains of a migration burst, where many warps touch
+ * newly-unmapped data in a short window — the regime that fills replay
+ * queues and drains operand-log partitions.
+ */
+class BurstModel final : public FaultModel
+{
+  public:
+    explicit BurstModel(const InjectConfig &cfg)
+        : cfg_(cfg), decide_(cfg.seed, kStreamDecision),
+          transition_(cfg.seed, kStreamTransition)
+    {}
+
+    ModelKind kind() const override { return ModelKind::Burst; }
+
+    bool
+    decide(Addr, std::uint64_t walk_idx) override
+    {
+        double t = transition_.realAt(walk_idx);
+        if (inStorm_) {
+            if (t < cfg_.burstExit)
+                inStorm_ = false;
+        } else {
+            if (t < cfg_.burstEnter)
+                inStorm_ = true;
+        }
+        double p = inStorm_ ? cfg_.burstRate : cfg_.rate;
+        return decide_.realAt(walk_idx) < p;
+    }
+
+  private:
+    InjectConfig cfg_;
+    CounterRng decide_;
+    CounterRng transition_;
+    bool inStorm_ = false;
+};
+
+/**
+ * Spatial concentration: a seed-chosen `hotFraction` of regions fault
+ * at `hotBoost` times the base rate (capped at 1), the rest at the
+ * base rate. Hotness is a pure function of (seed, region), so the same
+ * regions stay hot for the whole run — faults pile onto the same
+ * in-flight fault entries and exercise the join path.
+ */
+class HotPageModel final : public FaultModel
+{
+  public:
+    explicit HotPageModel(const InjectConfig &cfg)
+        : cfg_(cfg), decide_(cfg.seed, kStreamDecision),
+          region_(cfg.seed, kStreamRegion)
+    {}
+
+    ModelKind kind() const override { return ModelKind::HotPage; }
+
+    bool
+    decide(Addr region, std::uint64_t walk_idx) override
+    {
+        bool hot = region_.realAt(region) < cfg_.hotFraction;
+        double p = hot ? std::min(1.0, cfg_.rate * cfg_.hotBoost)
+                       : cfg_.rate;
+        return decide_.realAt(walk_idx) < p;
+    }
+
+  private:
+    InjectConfig cfg_;
+    CounterRng decide_;
+    CounterRng region_;
+};
+
+/**
+ * First-touch fraction: a seed-chosen `rate` fraction of regions fault
+ * on the first eligible walk that touches them, and never again. This
+ * reproduces partial first-touch residency (some of the footprint is
+ * warm, some is not) without declaring whole buffers untouched.
+ */
+class FirstTouchModel final : public FaultModel
+{
+  public:
+    explicit FirstTouchModel(const InjectConfig &cfg)
+        : rate_(cfg.rate), region_(cfg.seed, kStreamRegion)
+    {}
+
+    ModelKind kind() const override { return ModelKind::FirstTouch; }
+
+    bool
+    decide(Addr region, std::uint64_t) override
+    {
+        if (!touched_.insert(region).second)
+            return false;
+        return region_.realAt(region) < rate_;
+    }
+
+  private:
+    double rate_;
+    CounterRng region_;
+    std::unordered_set<Addr> touched_;
+};
+
+} // namespace
+
+const char *
+modelName(ModelKind k)
+{
+    switch (k) {
+      case ModelKind::None: return "none";
+      case ModelKind::Bernoulli: return "bernoulli";
+      case ModelKind::Burst: return "burst";
+      case ModelKind::HotPage: return "hot-page";
+      case ModelKind::FirstTouch: return "first-touch";
+    }
+    return "?";
+}
+
+ModelKind
+modelFromName(const std::string &name)
+{
+    for (ModelKind k : {ModelKind::None, ModelKind::Bernoulli,
+                        ModelKind::Burst, ModelKind::HotPage,
+                        ModelKind::FirstTouch})
+        if (name == modelName(k))
+            return k;
+    fatal("unknown fault model '%s' (expected none | bernoulli | burst | "
+          "hot-page | first-touch)", name.c_str());
+}
+
+std::unique_ptr<FaultModel>
+makeModel(const InjectConfig &cfg)
+{
+    switch (cfg.model) {
+      case ModelKind::None: return nullptr;
+      case ModelKind::Bernoulli:
+        return std::make_unique<BernoulliModel>(cfg);
+      case ModelKind::Burst: return std::make_unique<BurstModel>(cfg);
+      case ModelKind::HotPage: return std::make_unique<HotPageModel>(cfg);
+      case ModelKind::FirstTouch:
+        return std::make_unique<FirstTouchModel>(cfg);
+    }
+    panic("unreachable model kind");
+}
+
+void
+LatencyHistogram::collect(StatSet &s, const std::string &prefix) const
+{
+    static const char *const names[kBuckets] = {
+        "le_1k", "le_4k", "le_16k", "le_64k", "le_256k", "gt_256k",
+    };
+    s.add(prefix + "count", static_cast<double>(count_));
+    s.add(prefix + "sum", static_cast<double>(sum_));
+    s.maxOf(prefix + "max", static_cast<double>(max_));
+    for (int b = 0; b < kBuckets; ++b)
+        s.add(prefix + names[b], static_cast<double>(buckets_[b]));
+}
+
+FaultInjector::FaultInjector(const InjectConfig &cfg)
+    : cfg_(cfg), model_(makeModel(cfg))
+{
+}
+
+void
+FaultInjector::collectStats(StatSet &s) const
+{
+    s.set("inject.model", static_cast<double>(cfg_.model));
+    s.set("inject.rate", cfg_.rate);
+    s.set("inject.seed", static_cast<double>(cfg_.seed));
+    s.set("inject.walks_considered", static_cast<double>(walkIdx_));
+    s.set("inject.faults_injected", static_cast<double>(injected_));
+}
+
+} // namespace gex::inject

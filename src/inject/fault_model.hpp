@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Deterministic fault-injection models: synthetic page-fault patterns
+ * layered on top of a VmPolicy's residency presets, so the exception
+ * schemes can be stressed under bursty, correlated or adversarial
+ * fault regimes that the three paper presets never produce.
+ *
+ * A FaultModel decides, per page-table walk that would otherwise hit a
+ * GPU-resident region, whether to fault it anyway; the SystemMmu then
+ * services the injected fault exactly like a first-touch allocation
+ * fault (CPU handler, or the GPU-local handler under UC2). Injection
+ * composes with any residency policy: organic faults from CpuOwned /
+ * Untouched regions are untouched by the injector.
+ *
+ * Determinism: every decision derives from a CounterRng (inject/rng.hpp)
+ * keyed by the campaign seed and the walk/region being decided, so a
+ * run's fault pattern is a pure function of (workload, config, seed) —
+ * bit-identical at any sweep --jobs count.
+ *
+ * docs/FAULT_INJECTION.md is the user-facing guide: model taxonomy,
+ * parameter reference, the determinism contract, and campaign examples.
+ */
+
+#ifndef GEX_INJECT_FAULT_MODEL_HPP
+#define GEX_INJECT_FAULT_MODEL_HPP
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "inject/rng.hpp"
+
+namespace gex::inject {
+
+/** The built-in fault-pattern families. */
+enum class ModelKind : std::uint8_t {
+    None,       ///< injection disabled (the default)
+    Bernoulli,  ///< independent per-walk coin flip at `rate`
+    Burst,      ///< two-state Markov chain: calm `rate` / storm `burstRate`
+    HotPage,    ///< a `hotFraction` of regions fault `hotBoost`x more often
+    FirstTouch, ///< a `rate` fraction of regions fault on first touch only
+};
+
+/** Canonical model name ("none", "bernoulli", "burst", ...). */
+const char *modelName(ModelKind k);
+
+/**
+ * Parse a model from its canonical name ("none" | "bernoulli" |
+ * "burst" | "hot-page" | "first-touch"); fatal() on unknown names.
+ */
+ModelKind modelFromName(const std::string &name);
+
+/**
+ * Fault-injection parameters, carried inside vm::VmPolicy so a
+ * RunSpec's policy fully describes the fault environment of a run.
+ * Defaults leave injection off; enabled() gates every hook, so a
+ * default-constructed config is exactly the pre-injection simulator.
+ */
+struct InjectConfig {
+    ModelKind model = ModelKind::None;
+    /**
+     * Base fault probability per eligible page-table walk (Bernoulli,
+     * Burst calm state, HotPage cold regions) or, for FirstTouch, the
+     * fraction of regions that fault on their first walk.
+     */
+    double rate = 0.0;
+    /** Campaign seed; equal seeds reproduce identical fault patterns. */
+    std::uint64_t seed = 1;
+
+    // --- Burst (Markov fault storm) -----------------------------------
+    double burstRate = 0.5;    ///< in-storm fault probability
+    double burstEnter = 0.002; ///< P(calm -> storm) per walk
+    double burstExit = 0.05;   ///< P(storm -> calm) per walk
+
+    // --- HotPage (spatial concentration) ------------------------------
+    double hotFraction = 0.125; ///< fraction of regions that are hot
+    double hotBoost = 16.0;     ///< hot-region rate multiplier
+
+    bool enabled() const { return model != ModelKind::None; }
+};
+
+/**
+ * A fault-pattern generator. decide() is called once per eligible
+ * page-table walk (a walk that found its region GPU-resident), in
+ * simulation order; implementations may keep state (storm phase,
+ * touched-region set) because each timing run owns a private instance.
+ */
+class FaultModel
+{
+  public:
+    virtual ~FaultModel() = default;
+    virtual ModelKind kind() const = 0;
+    /**
+     * Should the @p walkIdx-th eligible walk, touching @p region
+     * (64 KB fault-granularity index), be turned into a fault?
+     */
+    virtual bool decide(Addr region, std::uint64_t walkIdx) = 0;
+};
+
+/** Build the model described by @p cfg (nullptr for ModelKind::None). */
+std::unique_ptr<FaultModel> makeModel(const InjectConfig &cfg);
+
+/**
+ * Fixed-bucket latency histogram for fault service times, exported as
+ * `<prefix>le_1k` ... `<prefix>gt_256k` plus count/sum/max scalars.
+ * Buckets are powers of four from 1024 cycles, bracketing the CPU
+ * round-trip (~10k) and GPU-local handler (~20k) service latencies.
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr int kBuckets = 6; // le_1k..le_256k, gt_256k
+
+    void
+    record(Cycle latency)
+    {
+        ++count_;
+        sum_ += latency;
+        if (latency > max_)
+            max_ = latency;
+        Cycle bound = 1024;
+        for (int b = 0; b < kBuckets - 1; ++b, bound *= 4) {
+            if (latency <= bound) {
+                ++buckets_[b];
+                return;
+            }
+        }
+        ++buckets_[kBuckets - 1];
+    }
+
+    std::uint64_t count() const { return count_; }
+
+    /** Emit `<prefix>count|sum|max|le_*|gt_*` into @p s (add-merged). */
+    void collect(StatSet &s, const std::string &prefix) const;
+
+  private:
+    std::uint64_t buckets_[kBuckets] = {};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    Cycle max_ = 0;
+};
+
+/**
+ * Per-run injection front end: owns the model instance and the walk
+ * counter, and keeps the considered/injected tallies. The SystemMmu
+ * asks shouldInject() once per walk that found its region resident;
+ * everything else in the walk path is unchanged.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const InjectConfig &cfg);
+
+    /** Decide the current walk; advances the walk counter. */
+    bool
+    shouldInject(Addr region)
+    {
+        std::uint64_t idx = walkIdx_++;
+        if (!model_ || !model_->decide(region, idx))
+            return false;
+        ++injected_;
+        return true;
+    }
+
+    const InjectConfig &config() const { return cfg_; }
+    /** Eligible (resident-region) walks seen so far. */
+    std::uint64_t considered() const { return walkIdx_; }
+    std::uint64_t injected() const { return injected_; }
+
+    /** Emit the `inject.*` stat block. */
+    void collectStats(StatSet &s) const;
+
+  private:
+    InjectConfig cfg_;
+    std::unique_ptr<FaultModel> model_;
+    std::uint64_t walkIdx_ = 0;
+    std::uint64_t injected_ = 0;
+};
+
+} // namespace gex::inject
+
+#endif // GEX_INJECT_FAULT_MODEL_HPP

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Counter-based splittable RNG for the fault-injection subsystem.
+ *
+ * Every draw is a pure function of (seed, stream, counter): no state
+ * advances, so a draw's value depends only on *what* is being decided
+ * (which walk, which region), never on how many draws happened before
+ * it or on which worker thread performed it. That is the determinism
+ * contract behind campaign results being bit-identical at any --jobs
+ * (docs/FAULT_INJECTION.md, "Seeding and determinism").
+ *
+ * Streams partition the draw space so independent decision kinds
+ * (fault decision vs. storm transition vs. region hotness) never
+ * consume each other's counters; split() derives a child generator
+ * whose draws are statistically independent of the parent's.
+ */
+
+#ifndef GEX_INJECT_RNG_HPP
+#define GEX_INJECT_RNG_HPP
+
+#include <cstdint>
+
+namespace gex::inject {
+
+/** SplitMix64 finalizer: a well-mixed 64-bit permutation. */
+constexpr std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * A (seed, stream) pair of a counter-based generator. at(counter) is
+ * pure; the object itself is immutable and freely copyable.
+ */
+class CounterRng
+{
+  public:
+    constexpr CounterRng(std::uint64_t seed, std::uint64_t stream)
+        : seed_(seed), stream_(stream)
+    {}
+
+    /** The @p counter-th draw of this stream, uniform over 2^64. */
+    constexpr std::uint64_t
+    at(std::uint64_t counter) const
+    {
+        return mix64(seed_ ^ mix64(stream_ ^ mix64(counter)));
+    }
+
+    /** The @p counter-th draw as a uniform double in [0, 1). */
+    constexpr double
+    realAt(std::uint64_t counter) const
+    {
+        return static_cast<double>(at(counter) >> 11) *
+               (1.0 / 9007199254740992.0);
+    }
+
+    /** Child generator for substream @p key (independent draws). */
+    constexpr CounterRng
+    split(std::uint64_t key) const
+    {
+        return CounterRng(mix64(seed_ ^ mix64(key)), stream_);
+    }
+
+    constexpr std::uint64_t seed() const { return seed_; }
+    constexpr std::uint64_t stream() const { return stream_; }
+
+  private:
+    std::uint64_t seed_;
+    std::uint64_t stream_;
+};
+
+} // namespace gex::inject
+
+#endif // GEX_INJECT_RNG_HPP

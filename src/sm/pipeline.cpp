@@ -14,6 +14,7 @@ PipelineState::PipelineState(int id, const gpu::GpuConfig &config,
     warps.resize(static_cast<size_t>(cfg.sm.maxWarps));
     fetchBlocked.assign(static_cast<size_t>(cfg.sm.maxWarps), 0);
     issueStalled.assign(static_cast<size_t>(cfg.sm.maxWarps), 0);
+    replaysPerWarp.assign(static_cast<size_t>(cfg.sm.maxWarps), 0);
     // Pre-size the event heap from the config-derived in-flight bound:
     // each in-flight instruction carries at most three live events
     // (source release, last check, commit) and in-flight work per warp

@@ -17,6 +17,7 @@
 #ifndef GEX_SM_PIPELINE_HPP
 #define GEX_SM_PIPELINE_HPP
 
+#include <algorithm>
 #include <queue>
 #include <vector>
 
@@ -113,6 +114,8 @@ struct WarpRt {
      */
     std::uint32_t sbStallIdx = UINT32_MAX;
     std::uint64_t sbStallGen = 0;
+    /** Cycle the current wd fetch barrier engaged (resilience stats). */
+    Cycle wdDisabledSince = 0;
     // Inline ring buffers: the fetch/issue stages scan every warp
     // every cycle, so the common-case queue state lives inside the
     // WarpRt itself (no per-entry heap nodes to chase).
@@ -250,6 +253,36 @@ struct PipelineState {
     std::uint64_t arithReportedOnly = 0;
     std::uint64_t contextBytesMoved = 0;
     std::uint64_t blocksCompleted = 0;
+
+    // Resilience counters (emitted only through the opt-in
+    // Sm::collectResilienceStats block; tracked unconditionally —
+    // every site is on a fault/stall path, never the per-cycle scans).
+    /** Replays queued per warp slot, accumulated across blocks. */
+    std::vector<std::uint32_t> replaysPerWarp;
+    /** Deepest replay queue any warp ever reached. */
+    std::size_t replayQHwm = 0;
+    /** Cycles with at least one warp refused issue for log space. */
+    std::uint64_t logBackpressureCycles = 0;
+    Cycle lastLogStallCycle = kNoCycle;
+    /** Warp-cycles spent fault-blocked (squash-to-resume windows). */
+    std::uint64_t faultBlockedCycles = 0;
+    /** Warp-cycles spent under a warp-disable fetch barrier. */
+    std::uint64_t fetchDisabledCycles = 0;
+
+    /**
+     * Extend a warp's blocked window to @p until and account the
+     * newly-added span (fault reaction and trap paths). Call before
+     * setting faultBlocked so the previous state is visible.
+     */
+    void
+    extendBlocked(WarpRt &w, Cycle now, Cycle until)
+    {
+        Cycle from = w.faultBlocked ? std::max(w.blockedUntil, now) : now;
+        if (until > w.blockedUntil)
+            w.blockedUntil = until;
+        if (w.blockedUntil > from)
+            faultBlockedCycles += w.blockedUntil - from;
+    }
 
     // --- hot-path helpers (inline: see file comment) -------------------
 

@@ -474,4 +474,29 @@ Sm::collectStats(StatSet &s) const
     s.add("sm.blocks_completed", static_cast<double>(st_.blocksCompleted));
 }
 
+void
+Sm::collectResilienceStats(StatSet &s) const
+{
+    std::uint64_t replays = 0;
+    std::uint32_t max_per_warp = 0;
+    std::uint64_t warps_with = 0;
+    for (std::uint32_t r : st_.replaysPerWarp) {
+        replays += r;
+        max_per_warp = std::max(max_per_warp, r);
+        if (r > 0)
+            ++warps_with;
+    }
+    s.add("resil.replays_total", static_cast<double>(replays));
+    s.maxOf("resil.replays_max_per_warp",
+            static_cast<double>(max_per_warp));
+    s.add("resil.warps_with_replays", static_cast<double>(warps_with));
+    s.maxOf("resil.replayq_hwm", static_cast<double>(st_.replayQHwm));
+    s.add("resil.log_backpressure_cycles",
+          static_cast<double>(st_.logBackpressureCycles));
+    s.add("resil.fault_blocked_warp_cycles",
+          static_cast<double>(st_.faultBlockedCycles));
+    s.add("resil.fetch_disabled_warp_cycles",
+          static_cast<double>(st_.fetchDisabledCycles));
+}
+
 } // namespace gex::sm

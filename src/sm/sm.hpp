@@ -61,6 +61,15 @@ class Sm
 
     void collectStats(StatSet &s) const;
 
+    /**
+     * Emit the opt-in resilience block (`resil.*`): replay pressure,
+     * operand-log back-pressure and blocked-warp cycle breakdown.
+     * Separate from collectStats() so plain runs keep the stat set the
+     * golden digests were captured over; Gpu::run() calls it when a
+     * fault injector is active or GpuConfig::resilienceStats is set.
+     */
+    void collectResilienceStats(StatSet &s) const;
+
     std::uint64_t instsCommitted() const { return st_.instsCommitted; }
 
     /**

@@ -31,6 +31,7 @@ CommitStage::onCommit(Inflight &in, Cycle now)
     if (in.isArithBarrier && wr.wdFetchDisable) {
         // Arithmetic fetch barriers re-enable at commit in both
         // warp-disable variants (there is no TLB check to wait for).
+        st_.fetchDisabledCycles += now - wr.wdDisabledSince;
         wr.wdFetchDisable = false;
         wr.fetchResumeAt = now + st_.cfg.sm.fetchRestartPenalty;
         st_.scheduleEvent(wr.fetchResumeAt, EvKind::WarpResume, in.warp,
@@ -40,6 +41,7 @@ CommitStage::onCommit(Inflight &in, Cycle now)
     if (in.isGlobalMem) {
         --st_.inflightMem;
         if (st_.policy.reenableFetchAtCommit() && wr.wdFetchDisable) {
+            st_.fetchDisabledCycles += now - wr.wdDisabledSince;
             wr.wdFetchDisable = false;
             wr.fetchResumeAt = now + st_.cfg.sm.fetchRestartPenalty;
             st_.scheduleEvent(wr.fetchResumeAt, EvKind::WarpResume,
@@ -64,10 +66,9 @@ CommitStage::onTrapEnter(Inflight &in, Cycle now)
 {
     WarpRt &wr = st_.warps[static_cast<size_t>(in.warp)];
     if (wr.slot >= 0) {
+        st_.extendBlocked(wr, now, now + st_.cfg.trapHandlerCycles);
         wr.faultBlocked = true;
         st_.wakeWarp(in.warp);
-        wr.blockedUntil =
-            std::max(wr.blockedUntil, now + st_.cfg.trapHandlerCycles);
         st_.scheduleEvent(wr.blockedUntil, EvKind::WarpResume, in.warp,
                           UINT32_MAX);
         ++st_.trapsHandled;

@@ -77,6 +77,7 @@ FetchStage::tick(Cycle now)
                                         si.traits().canRaiseArith,
                                         st_.cfg.arithExceptions)) {
                 wr.wdFetchDisable = true;
+                wr.wdDisabledSince = now;
                 st_.emitFetch(now, obs::PipeEventKind::FetchDisabled, w,
                               idx, ti.staticIdx);
             }

@@ -125,6 +125,13 @@ IssueStage::tryIssueHead(int w, Cycle now)
         log_bytes = OperandLog::entryBytes(t.isStore || t.isAtomic);
         if (!st_.log.tryAllocate(wr.slot, log_bytes)) {
             ++st_.stallLog;
+            // Distinct-cycle back-pressure: count each cycle in which
+            // at least one issue attempt was refused log space, not
+            // each refused attempt.
+            if (st_.lastLogStallCycle != now) {
+                st_.lastLogStallCycle = now;
+                ++st_.logBackpressureCycles;
+            }
             return false;
         }
     }

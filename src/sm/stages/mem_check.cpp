@@ -21,6 +21,7 @@ MemCheckStage::onLastCheck(Inflight &in, Cycle now)
         releaseLogSpace(st_, in, now);
     if (st_.policy.reenableFetchAtLastCheck() && in.isGlobalMem &&
         wr.wdFetchDisable) {
+        st_.fetchDisabledCycles += now - wr.wdDisabledSince;
         wr.wdFetchDisable = false;
         wr.fetchResumeAt = now + st_.cfg.sm.fetchRestartPenalty;
         // Wake the fetch stage when the refill completes (the main
@@ -74,14 +75,19 @@ MemCheckStage::onFaultReact(Inflight &in, Cycle now)
     const std::uint32_t static_idx = in.ti->staticIdx;
     squash(in, now);
     PipelineState::insertReplay(wr, replay_idx);
+    ++st_.replaysPerWarp[static_cast<size_t>(in.warp)];
+    st_.replayQHwm = std::max(st_.replayQHwm, wr.replayQ.size());
     st_.emitFetch(now, obs::PipeEventKind::Replayed, in.warp, replay_idx,
                   static_idx);
     st_.revertIbuf(wr);
-    wr.wdFetchDisable = false;
+    if (wr.wdFetchDisable) {
+        st_.fetchDisabledCycles += now - wr.wdDisabledSince;
+        wr.wdFetchDisable = false;
+    }
 
+    st_.extendBlocked(wr, now,
+                      std::max(in.mem.resolveAll, wr.maxCommitScheduled));
     wr.faultBlocked = true;
-    wr.blockedUntil = std::max({wr.blockedUntil, in.mem.resolveAll,
-                                wr.maxCommitScheduled});
     st_.scheduleEvent(std::max(wr.blockedUntil, now + 1),
                       EvKind::WarpResume, in.warp, UINT32_MAX);
 

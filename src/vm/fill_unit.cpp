@@ -18,6 +18,31 @@ SystemMmu::pendingFaults(Cycle now)
 }
 
 Translation
+SystemMmu::allocFault(Addr addr, Cycle done, bool injected)
+{
+    ++faults_;
+    if (injected)
+        ++injected_;
+    Translation t;
+    t.fault = true;
+    t.detect = done;
+    t.queueDepth = pendingFaults(done);
+    if (cfg_.localHandling) {
+        ++gpuAllocs_;
+        t.resolve = gpuHandler_.handle(done);
+        t.kind = FaultKind::GpuAlloc;
+    } else {
+        ++cpuAllocs_;
+        t.resolve = link_.serviceFault(done, 0);
+        t.kind = FaultKind::CpuAlloc;
+    }
+    dir_.beginPending(addr, t.resolve);
+    outstandingFaults_.push(t.resolve);
+    svcLatency_.record(t.resolve - t.detect);
+    return t;
+}
+
+Translation
 SystemMmu::walk(Addr page, Cycle now)
 {
     ++walks_;
@@ -27,6 +52,12 @@ SystemMmu::walk(Addr page, Cycle now)
 
     switch (dir_.stateAt(addr, done)) {
       case RegionState::GpuResident: {
+        // Fault-injection hook: a resident region may still fault when
+        // an injected model fires. The fault is serviced like a
+        // first-touch allocation (no data transfer); once it resolves
+        // the region is resident again.
+        if (injector_ && injector_->shouldInject(dir_.regionOf(addr)))
+            return allocFault(addr, done, /*injected=*/true);
         Translation t;
         t.ready = done;
         return t;
@@ -39,6 +70,7 @@ SystemMmu::walk(Addr page, Cycle now)
         t.resolve = dir_.pendingReadyAt(addr);
         t.kind = FaultKind::Joined;
         t.queueDepth = pendingFaults(done);
+        svcLatency_.record(t.resolve - t.detect);
         return t;
       }
       case RegionState::CpuOwned: {
@@ -52,27 +84,11 @@ SystemMmu::walk(Addr page, Cycle now)
         t.kind = FaultKind::Migration;
         dir_.beginPending(addr, t.resolve);
         outstandingFaults_.push(t.resolve);
+        svcLatency_.record(t.resolve - t.detect);
         return t;
       }
-      case RegionState::Untouched: {
-        ++faults_;
-        Translation t;
-        t.fault = true;
-        t.detect = done;
-        t.queueDepth = pendingFaults(done);
-        if (cfg_.localHandling) {
-            ++gpuAllocs_;
-            t.resolve = gpuHandler_.handle(done);
-            t.kind = FaultKind::GpuAlloc;
-        } else {
-            ++cpuAllocs_;
-            t.resolve = link_.serviceFault(done, 0);
-            t.kind = FaultKind::CpuAlloc;
-        }
-        dir_.beginPending(addr, t.resolve);
-        outstandingFaults_.push(t.resolve);
-        return t;
-      }
+      case RegionState::Untouched:
+        return allocFault(addr, done, /*injected=*/false);
     }
     panic("unreachable region state");
 }
@@ -96,6 +112,13 @@ SystemMmu::collectStats(StatSet &s) const
     s.set(p + "migration_faults", static_cast<double>(migrations_));
     s.set(p + "cpu_alloc_faults", static_cast<double>(cpuAllocs_));
     s.set(p + "gpu_alloc_faults", static_cast<double>(gpuAllocs_));
+}
+
+void
+SystemMmu::collectResilienceStats(StatSet &s) const
+{
+    s.set("mmu.injected_faults", static_cast<double>(injected_));
+    svcLatency_.collect(s, "resil.svc_latency_");
 }
 
 } // namespace gex::vm

@@ -10,6 +10,7 @@
 
 #include <queue>
 
+#include "inject/fault_model.hpp"
 #include "mem/port.hpp"
 #include "vm/gpu_fault_handler.hpp"
 #include "vm/host_link.hpp"
@@ -48,16 +49,37 @@ class SystemMmu
     /** Pending (unresolved) faults at @p now. */
     int pendingFaults(Cycle now);
 
+    /**
+     * Attach a fault injector (nullptr detaches, the default): walks
+     * that find their region GPU-resident additionally consult the
+     * injector and, when it fires, are serviced as allocation faults
+     * (CPU handler, or GPU-local under localHandling). The pointer
+     * must outlive the MMU; with none attached the walk path is
+     * exactly the pre-injection simulator.
+     */
+    void setInjector(inject::FaultInjector *inj) { injector_ = inj; }
+
     const Tlb &l2Tlb() const { return l2tlb_; }
 
     std::uint64_t walks() const { return walks_; }
     std::uint64_t faults() const { return faults_; }
     std::uint64_t joinedFaults() const { return joined_; }
+    std::uint64_t injectedFaults() const { return injected_; }
 
     void collectStats(StatSet &s) const;
 
+    /**
+     * Emit the resilience stat block (`resil.svc_latency_*`,
+     * `mmu.injected_faults`). Kept separate from collectStats() so
+     * fault-free runs' stat sets — and the golden digests pinned over
+     * them — are untouched unless a campaign asks for these stats.
+     */
+    void collectResilienceStats(StatSet &s) const;
+
   private:
     Translation walk(Addr page, Cycle now);
+    /** Service a first-touch-style allocation fault detected at @p done. */
+    Translation allocFault(Addr addr, Cycle done, bool injected);
 
     MmuConfig cfg_;
     PageDirectory &dir_;
@@ -65,6 +87,7 @@ class SystemMmu
     GpuFaultHandler &gpuHandler_;
     Tlb l2tlb_;
     mem::Port walkers_;
+    inject::FaultInjector *injector_ = nullptr;
 
     std::priority_queue<Cycle, std::vector<Cycle>, std::greater<>>
         outstandingFaults_;
@@ -75,6 +98,9 @@ class SystemMmu
     std::uint64_t migrations_ = 0;
     std::uint64_t cpuAllocs_ = 0;
     std::uint64_t gpuAllocs_ = 0;
+    std::uint64_t injected_ = 0;
+    /** Service latency (resolve - detect) of every fault, joins included. */
+    inject::LatencyHistogram svcLatency_;
 };
 
 } // namespace gex::vm

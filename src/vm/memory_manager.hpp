@@ -1,26 +1,47 @@
 /**
  * @file
  * Memory manager: lays out kernel buffers in the virtual address
- * space and applies a paging policy (which buffer classes start
- * CPU-owned / untouched / resident) to the page directory. Each
- * evaluation mode of the paper maps to one policy preset.
+ * space and applies a paging policy to the page directory. A VmPolicy
+ * has two orthogonal layers: the *residency preset* (which buffer
+ * classes start CPU-owned / untouched / resident — each evaluation
+ * mode of the paper maps to one preset) and an optional *injected
+ * fault model* (src/inject) that synthesizes additional faults on
+ * resident regions on top of whatever the preset produces.
  */
 
 #ifndef GEX_VM_MEMORY_MANAGER_HPP
 #define GEX_VM_MEMORY_MANAGER_HPP
 
 #include "func/kernel.hpp"
+#include "inject/fault_model.hpp"
 #include "vm/page_table.hpp"
 
 namespace gex::vm {
 
-/** Initial residency per buffer class (see func::BufferKind). */
+/**
+ * Paging policy of one run: initial residency per buffer class (see
+ * func::BufferKind) plus the injected-fault decoration.
+ *
+ * The factory presets below configure residency only and compose
+ * freely with injection: assign `policy.inject` after construction
+ * (e.g. `auto p = VmPolicy::allResident(); p.inject.model =
+ * inject::ModelKind::Burst;`) to stress a scheme with synthetic fault
+ * storms while the organic fault behaviour of the preset is preserved.
+ * policyFromName()/policyName() address the residency layer alone;
+ * a preset with injection enabled still reports its preset name.
+ */
 struct VmPolicy {
     RegionState inputs = RegionState::GpuResident;
     RegionState outputs = RegionState::GpuResident;
     RegionState heap = RegionState::GpuResident;
-    /** UC2: first-touch faults handled by the GPU-local handler. */
+    /** UC2: first-touch faults handled by the GPU-local handler.
+     *  Injected faults follow the same routing (CPU vs GPU-local). */
     bool localHandling = false;
+    /**
+     * Injected fault model layered over the residency preset
+     * (default: disabled). See docs/FAULT_INJECTION.md.
+     */
+    inject::InjectConfig inject;
 
     /** Fault-free runs (Figures 10, 11): everything resident. */
     static VmPolicy allResident();
@@ -73,13 +94,16 @@ void applyPolicy(PageDirectory &dir, const func::Kernel &kernel,
 /**
  * Parse one of the evaluation-mode preset names: "resident" |
  * "demand-paging" | "output-faults[-local]" | "heap-faults[-local]".
- * fatal() on unknown names.
+ * fatal() on unknown names. The result has injection disabled; set
+ * `.inject` afterwards to compose a fault model with the preset.
  */
 VmPolicy policyFromName(const std::string &name);
 
 /**
- * Canonical preset name of @p policy, matching policyFromName();
- * "custom" when the field combination matches no preset.
+ * Canonical preset name of @p policy's residency layer, matching
+ * policyFromName(); "custom" when the residency fields match no
+ * preset. The injected-fault configuration does not participate —
+ * report it separately (e.g. via inject::modelName).
  */
 const char *policyName(const VmPolicy &policy);
 

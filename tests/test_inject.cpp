@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Fault-injection subsystem tests: counter-RNG purity, each fault
+ * model's statistical envelope, end-to-end equivalence of injected
+ * runs (every scheme still commits the exact trace), sweep-level
+ * bit-determinism across worker counts, and the replay-queue
+ * saturation regression.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "func/functional_sim.hpp"
+#include "gpu/gpu.hpp"
+#include "harness/sweep.hpp"
+#include "inject/fault_model.hpp"
+#include "inject/rng.hpp"
+#include "kasm/builder.hpp"
+
+namespace gex {
+namespace {
+
+using inject::CounterRng;
+using inject::InjectConfig;
+using inject::ModelKind;
+
+// --- CounterRng ----------------------------------------------------------
+
+TEST(CounterRng, PureFunctionOfSeedStreamCounter)
+{
+    CounterRng a(42, 7);
+    CounterRng b(42, 7);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        EXPECT_EQ(a.at(i), b.at(i));
+    // Re-querying a counter after others gives the same value: no
+    // hidden sequence state.
+    std::uint64_t first = a.at(3);
+    (void)a.at(999);
+    EXPECT_EQ(a.at(3), first);
+}
+
+TEST(CounterRng, SeedAndStreamChangeTheSequence)
+{
+    CounterRng base(42, 7);
+    EXPECT_NE(base.at(0), CounterRng(43, 7).at(0));
+    EXPECT_NE(base.at(0), CounterRng(42, 8).at(0));
+    EXPECT_NE(base.at(0), base.split(1).at(0));
+}
+
+TEST(CounterRng, RealsAreUniformEnough)
+{
+    CounterRng r(1, 1);
+    double sum = 0;
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        double x = r.realAt(i);
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+// --- model envelopes -----------------------------------------------------
+
+/** Drive @p model over @p walks round-robin walks of @p regions. */
+std::map<Addr, int>
+drive(inject::FaultModel &model, std::uint64_t walks, Addr regions)
+{
+    std::map<Addr, int> faultsPerRegion;
+    for (std::uint64_t i = 0; i < walks; ++i)
+        if (model.decide(i % regions, i))
+            ++faultsPerRegion[i % regions];
+    return faultsPerRegion;
+}
+
+std::uint64_t
+total(const std::map<Addr, int> &m)
+{
+    std::uint64_t n = 0;
+    for (const auto &kv : m)
+        n += static_cast<std::uint64_t>(kv.second);
+    return n;
+}
+
+TEST(FaultModels, BernoulliHitsItsRate)
+{
+    InjectConfig cfg;
+    cfg.model = ModelKind::Bernoulli;
+    cfg.rate = 0.1;
+    cfg.seed = 5;
+    auto m = inject::makeModel(cfg);
+    const std::uint64_t walks = 100000;
+    double frac =
+        static_cast<double>(total(drive(*m, walks, 16))) / walks;
+    EXPECT_NEAR(frac, cfg.rate, 0.01);
+}
+
+TEST(FaultModels, BurstSitsBetweenCalmAndStormRates)
+{
+    InjectConfig cfg;
+    cfg.model = ModelKind::Burst;
+    cfg.rate = 0.01;
+    cfg.burstRate = 0.5;
+    cfg.burstEnter = 0.002;
+    cfg.burstExit = 0.05;
+    cfg.seed = 5;
+    auto m = inject::makeModel(cfg);
+    const std::uint64_t walks = 200000;
+    double frac =
+        static_cast<double>(total(drive(*m, walks, 16))) / walks;
+    // Storm occupancy = enter/(enter+exit) ~ 3.8%, so the blended
+    // rate must clearly exceed calm-only yet stay below storm-only.
+    EXPECT_GT(frac, 2.0 * cfg.rate);
+    EXPECT_LT(frac, cfg.burstRate / 2.0);
+}
+
+TEST(FaultModels, BurstProducesClusters)
+{
+    InjectConfig cfg;
+    cfg.model = ModelKind::Burst;
+    cfg.rate = 0.001;
+    cfg.burstRate = 0.8;
+    cfg.burstEnter = 0.001;
+    cfg.burstExit = 0.02;
+    cfg.seed = 9;
+    auto m = inject::makeModel(cfg);
+    // Longest run of consecutive faulting walks: storms make long
+    // runs likely; a 0.1%-rate Bernoulli makes even a pair unlikely.
+    int run = 0, best = 0;
+    for (std::uint64_t i = 0; i < 200000; ++i) {
+        if (m->decide(i % 16, i))
+            best = std::max(best, ++run);
+        else
+            run = 0;
+    }
+    EXPECT_GE(best, 4);
+}
+
+TEST(FaultModels, HotPageConcentratesFaults)
+{
+    InjectConfig cfg;
+    cfg.model = ModelKind::HotPage;
+    cfg.rate = 0.01;
+    cfg.hotFraction = 0.125;
+    cfg.hotBoost = 16.0;
+    cfg.seed = 11;
+    auto m = inject::makeModel(cfg);
+    const Addr regions = 64;
+    auto perRegion = drive(*m, 400000, regions);
+    // Sort per-region counts; the top hotFraction of regions must
+    // carry the majority of all faults (16x boost on 1/8 of regions
+    // means hot regions produce ~2/3 of the total).
+    std::vector<int> counts;
+    for (const auto &kv : perRegion)
+        counts.push_back(kv.second);
+    std::sort(counts.rbegin(), counts.rend());
+    std::uint64_t all = total(perRegion), top = 0;
+    for (std::size_t i = 0; i < counts.size() && i < regions / 8; ++i)
+        top += static_cast<std::uint64_t>(counts[i]);
+    ASSERT_GT(all, 0u);
+    EXPECT_GT(static_cast<double>(top) / static_cast<double>(all), 0.5);
+}
+
+TEST(FaultModels, FirstTouchFaultsEachRegionAtMostOnce)
+{
+    InjectConfig cfg;
+    cfg.model = ModelKind::FirstTouch;
+    cfg.rate = 0.5;
+    cfg.seed = 13;
+    auto m = inject::makeModel(cfg);
+    const Addr regions = 256;
+    auto perRegion = drive(*m, 100000, regions);
+    for (const auto &kv : perRegion)
+        EXPECT_EQ(kv.second, 1) << "region " << kv.first;
+    // About half the regions should have faulted (their first touch).
+    double frac = static_cast<double>(perRegion.size()) /
+                  static_cast<double>(regions);
+    EXPECT_NEAR(frac, cfg.rate, 0.15);
+}
+
+TEST(FaultModels, SameSeedSameDecisions)
+{
+    for (ModelKind k : {ModelKind::Bernoulli, ModelKind::Burst,
+                        ModelKind::HotPage, ModelKind::FirstTouch}) {
+        InjectConfig cfg;
+        cfg.model = k;
+        cfg.rate = 0.05;
+        cfg.seed = 21;
+        auto a = inject::makeModel(cfg);
+        auto b = inject::makeModel(cfg);
+        for (std::uint64_t i = 0; i < 5000; ++i)
+            ASSERT_EQ(a->decide(i % 8, i), b->decide(i % 8, i))
+                << inject::modelName(k) << " walk " << i;
+    }
+}
+
+TEST(FaultModels, NamesRoundTrip)
+{
+    for (ModelKind k : {ModelKind::None, ModelKind::Bernoulli,
+                        ModelKind::Burst, ModelKind::HotPage,
+                        ModelKind::FirstTouch})
+        EXPECT_EQ(inject::modelFromName(inject::modelName(k)), k);
+}
+
+// --- end-to-end through the timing stack ---------------------------------
+
+constexpr Addr kIn = 1 << 20;
+constexpr Addr kOut = 2 << 20;
+
+struct Built {
+    func::GlobalMemory mem;
+    func::Kernel kernel;
+    trace::KernelTrace trace;
+};
+
+/** Streaming reader kernel over @p blocks x 256 threads (as in
+ *  test_faults.cpp): out[i] = in[i] + 1. */
+void
+buildReader(Built &bt, std::uint32_t blocks)
+{
+    using kasm::KernelBuilder;
+    using kasm::SpecialReg;
+    std::uint64_t n = static_cast<std::uint64_t>(blocks) * 256;
+    for (std::uint64_t i = 0; i < n; ++i)
+        bt.mem.write64(kIn + i * 8, i);
+    KernelBuilder b("reader");
+    b.setNumParams(2);
+    b.s2r(0, SpecialReg::GlobalTid);
+    b.ldparam(1, 0);
+    b.ldparam(2, 1);
+    b.shli(3, 0, 3);
+    b.iadd(1, 1, 3);
+    b.ldGlobal(4, 1);
+    b.iaddi(4, 4, 1);
+    b.iadd(2, 2, 3);
+    b.stGlobal(2, 0, 4);
+    b.exit();
+    bt.kernel.program = b.build();
+    bt.kernel.grid = {blocks, 1, 1};
+    bt.kernel.block = {256, 1, 1};
+    bt.kernel.params = {kIn, kOut};
+    bt.kernel.buffers.push_back(
+        {"in", kIn, n * 8, func::BufferKind::Input});
+    bt.kernel.buffers.push_back(
+        {"out", kOut, n * 8, func::BufferKind::Output});
+    func::FunctionalSim fsim(bt.mem);
+    bt.trace = fsim.run(bt.kernel);
+}
+
+gpu::SimResult
+runInjected(const Built &bt, gpu::Scheme s, const InjectConfig &inj)
+{
+    gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+    cfg.scheme = s;
+    gpu::Gpu g(cfg);
+    vm::VmPolicy policy = vm::VmPolicy::allResident();
+    policy.inject = inj;
+    return g.run(bt.kernel, bt.trace, policy);
+}
+
+TEST(InjectEndToEnd, PreemptibleSchemesCommitTheExactTraceUnderInjection)
+{
+    Built bt;
+    buildReader(bt, 16);
+    InjectConfig inj;
+    inj.model = ModelKind::Bernoulli;
+    inj.rate = 0.05;
+    inj.seed = 3;
+    auto clean = runInjected(bt, gpu::Scheme::ReplayQueue, InjectConfig{});
+    for (auto s : {gpu::Scheme::WarpDisableCommit,
+                   gpu::Scheme::WarpDisableLastCheck,
+                   gpu::Scheme::ReplayQueue, gpu::Scheme::OperandLog}) {
+        auto r = runInjected(bt, s, inj);
+        // Same committed work as the fault-free golden run...
+        EXPECT_EQ(r.instructions, bt.trace.dynamicInsts())
+            << gpu::schemeName(s);
+        EXPECT_EQ(r.instructions, clean.instructions)
+            << gpu::schemeName(s);
+        // ...with faults actually injected, at a cycle cost.
+        EXPECT_GT(r.stats.get("mmu.injected_faults"), 0.0)
+            << gpu::schemeName(s);
+        EXPECT_GT(r.cycles, clean.cycles) << gpu::schemeName(s);
+    }
+    // The trace-driven outputs are those of the functional run; an
+    // injected fault must never perturb them (out[i] == in[i] + 1).
+    for (std::uint64_t i = 0; i < 16 * 256; ++i)
+        ASSERT_EQ(bt.mem.read64(kOut + i * 8), i + 1);
+}
+
+TEST(InjectEndToEnd, BaselineStallsInsteadOfReacting)
+{
+    Built bt;
+    buildReader(bt, 8);
+    InjectConfig inj;
+    inj.model = ModelKind::Bernoulli;
+    inj.rate = 0.05;
+    inj.seed = 3;
+    auto r = runInjected(bt, gpu::Scheme::StallOnFault, inj);
+    EXPECT_EQ(r.instructions, bt.trace.dynamicInsts());
+    EXPECT_GT(r.stats.get("mmu.injected_faults"), 0.0);
+    EXPECT_EQ(r.stats.get("sm.faults_reacted"), 0.0);
+}
+
+TEST(InjectEndToEnd, DisabledModelIsAStatNoOp)
+{
+    Built bt;
+    buildReader(bt, 8);
+    auto plain = runInjected(bt, gpu::Scheme::ReplayQueue, InjectConfig{});
+    EXPECT_EQ(plain.stats.get("mmu.injected_faults"), 0.0);
+    // No resilience or injection stat may leak into a plain run's
+    // StatSet: the golden digests of test_golden_stats.cpp hash every
+    // name in it.
+    for (const auto &kv : plain.stats.scalars()) {
+        EXPECT_EQ(kv.first.rfind("resil.", 0), std::string::npos)
+            << kv.first;
+        EXPECT_EQ(kv.first.rfind("inject.", 0), std::string::npos)
+            << kv.first;
+    }
+}
+
+TEST(InjectEndToEnd, ResilienceStatsKnobKeepsTimingIdentical)
+{
+    Built bt;
+    buildReader(bt, 8);
+    gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+    cfg.scheme = gpu::Scheme::OperandLog;
+    gpu::Gpu plain(cfg);
+    auto a = plain.run(bt.kernel, bt.trace, vm::VmPolicy::demandPaging());
+    cfg.resilienceStats = true;
+    gpu::Gpu instrumented(cfg);
+    auto b =
+        instrumented.run(bt.kernel, bt.trace, vm::VmPolicy::demandPaging());
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_TRUE(b.stats.has("resil.fault_blocked_warp_cycles"));
+    EXPECT_FALSE(a.stats.has("resil.fault_blocked_warp_cycles"));
+}
+
+TEST(InjectEndToEnd, ReplayQueueSaturationIsVisibleInTheHighWaterMark)
+{
+    Built bt;
+    buildReader(bt, 16);
+    InjectConfig storm;
+    storm.model = ModelKind::Burst;
+    storm.rate = 0.02;
+    storm.burstRate = 0.9;
+    storm.burstEnter = 0.01;
+    storm.burstExit = 0.02;
+    storm.seed = 7;
+    auto calm = runInjected(bt, gpu::Scheme::ReplayQueue, InjectConfig{});
+    auto r = runInjected(bt, gpu::Scheme::ReplayQueue, storm);
+    EXPECT_GT(r.stats.get("resil.replays_total"), 0.0);
+    EXPECT_GE(r.stats.get("resil.replayq_hwm"), 1.0);
+    EXPECT_GE(r.stats.get("resil.replays_max_per_warp"), 1.0);
+    EXPECT_GT(r.stats.get("resil.fault_blocked_warp_cycles"), 0.0);
+    EXPECT_GT(r.cycles, calm.cycles);
+}
+
+// --- sweep-level determinism --------------------------------------------
+
+std::vector<harness::RunRecord>
+injectedGrid(int jobs)
+{
+    harness::SweepEngine eng(jobs);
+    for (const char *w : {"sgemm"}) {
+        for (auto s : {gpu::Scheme::ReplayQueue, gpu::Scheme::OperandLog}) {
+            for (std::uint64_t seed : {1ull, 2ull}) {
+                harness::RunSpec rs;
+                rs.workload = w;
+                rs.cfg = gpu::GpuConfig::baseline();
+                rs.cfg.numSms = 4;
+                rs.cfg.scheme = s;
+                rs.cfg.resilienceStats = true;
+                rs.policy.inject.model = ModelKind::Bernoulli;
+                rs.policy.inject.rate = 0.003;
+                rs.policy.inject.seed = seed;
+                eng.add(std::move(rs));
+            }
+        }
+    }
+    return eng.run();
+}
+
+TEST(InjectSweep, BitIdenticalAcrossJobCounts)
+{
+    auto serial = injectedGrid(1);
+    auto parallel = injectedGrid(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].result.cycles, parallel[i].result.cycles)
+            << "run " << i;
+        EXPECT_EQ(serial[i].result.instructions,
+                  parallel[i].result.instructions)
+            << "run " << i;
+        EXPECT_EQ(serial[i].result.stats.scalars(),
+                  parallel[i].result.stats.scalars())
+            << "run " << i;
+    }
+}
+
+TEST(InjectSweep, SeedsChangeTheFaultPattern)
+{
+    auto runs = injectedGrid(1);
+    // Runs 0 and 1 differ only in seed; their injected-fault tallies
+    // coming out equal on every stat would mean the seed is ignored.
+    ASSERT_GE(runs.size(), 2u);
+    EXPECT_NE(runs[0].result.stats.scalars(),
+              runs[1].result.stats.scalars());
+}
+
+} // namespace
+} // namespace gex

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Check that every relative markdown link in the repo's docs resolves.
+
+Scans all tracked *.md files for [text](target) links, skips absolute
+URLs and pure anchors, resolves each target against the file that
+contains it, and fails with a list of dead links if any target does
+not exist. Run from anywhere inside the repository:
+
+    python3 tools/check_doc_links.py
+
+CI runs this on every push (.github/workflows/ci.yml, docs job).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def links_in(text):
+    """Yield link targets outside fenced code blocks."""
+    fenced = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            fenced = not fenced
+            continue
+        if fenced:
+            continue
+        for m in LINK_RE.finditer(line):
+            yield m.group(1)
+
+
+def main():
+    repo = Path(__file__).resolve().parent.parent
+    md_files = sorted(
+        p for p in repo.rglob("*.md")
+        if "build" not in p.parts and ".git" not in p.parts
+    )
+    dead = []
+    checked = 0
+    for md in md_files:
+        for target in links_in(md.read_text(encoding="utf-8")):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            checked += 1
+            if not (md.parent / path).exists():
+                dead.append(f"{md.relative_to(repo)}: ({target})")
+    if dead:
+        print(f"dead links ({len(dead)}):")
+        for d in dead:
+            print(" ", d)
+        return 1
+    print(f"doc links OK: {checked} relative links across "
+          f"{len(md_files)} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

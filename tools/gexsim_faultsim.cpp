@@ -1,0 +1,334 @@
+/**
+ * @file
+ * gexsim-faultsim: deterministic fault-injection campaign driver. Runs
+ * a (workload x scheme x fault model x rate x seed) grid on the
+ * parallel sweep engine, pairing every injected point with a
+ * fault-free reference run of the same (workload, scheme), and reports
+ * the slowdown each fault regime imposes on each exception scheme —
+ * plus the full resilience stat block per run in the JSON export
+ * (schema: docs/FAULT_INJECTION.md).
+ *
+ *   gexsim-faultsim --quick --json BENCH_faultsim.json
+ *   gexsim-faultsim --workloads sgemm,lbm --schemes replay-queue \
+ *                   --models bernoulli,burst --rates 0.005,0.02 --seeds 3
+ *
+ * Determinism contract: with a fixed flag set, the campaign's JSON
+ * `runs` array is bit-identical at any --jobs count (each grid point
+ * owns a private Gpu + FaultInjector whose decisions are pure
+ * functions of the campaign seed; see src/inject/rng.hpp).
+ *
+ * Run with --help for the full flag list.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gex.hpp"
+
+using namespace gex;
+
+namespace {
+
+struct Options {
+    std::vector<std::string> workloads;
+    std::vector<std::string> schemes = {"baseline", "wd-commit",
+                                        "wd-lastcheck", "replay-queue",
+                                        "operand-log"};
+    std::vector<std::string> models = {"bernoulli", "burst", "hot-page",
+                                       "first-touch"};
+    std::vector<double> rates = {0.002, 0.01};
+    int seeds = 1;
+    std::string suite = "parboil";
+    std::string policy = "resident";
+    std::string jsonPath;
+    int scale = 1;
+    int sms = 16;
+    std::uint32_t logKb = 16;
+    int jobs = 1;
+    bool quick = false;
+};
+
+void
+usage()
+{
+    std::printf(
+        "gexsim-faultsim: deterministic fault-injection campaigns\n\n"
+        "  --suite S           parboil | halloc | all (default parboil)\n"
+        "  --workloads A,B,C   explicit workload list (overrides --suite)\n"
+        "  --schemes A,B,C     schemes to stress (default all five)\n"
+        "  --models A,B,C      bernoulli | burst | hot-page | first-touch\n"
+        "                      (default all four)\n"
+        "  --rates X,Y         base fault rates (default 0.002,0.01)\n"
+        "  --seeds N           seeds 1..N per point (default 1)\n"
+        "  --policy P          residency policy under the injector\n"
+        "                      (default resident)\n"
+        "  --scale N           workload scale factor (default 1)\n"
+        "  --sms N             number of SMs (default 16)\n"
+        "  --log-kb N          operand log size in KB (default 16)\n"
+        "  --jobs N            worker threads (default 1; 0 = all cores)\n"
+        "  --json FILE         write the full result set as JSON\n"
+        "  --quick             CI smoke grid: one small workload, two\n"
+        "                      schemes, one model/rate/seed, 4 SMs\n");
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t comma = s.find(',', start);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > start)
+            out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+std::vector<double>
+splitCsvDouble(const std::string &s)
+{
+    std::vector<double> out;
+    for (const auto &tok : splitCsv(s))
+        out.push_back(std::atof(tok.c_str()));
+    return out;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    bool workloads_set = false, schemes_set = false, models_set = false;
+    bool rates_set = false, seeds_set = false, sms_set = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("flag %s needs a value", a.c_str());
+            return argv[++i];
+        };
+        if (a == "--suite") o.suite = next();
+        else if (a == "--workloads") {
+            o.workloads = splitCsv(next());
+            workloads_set = true;
+        }
+        else if (a == "--schemes") {
+            o.schemes = splitCsv(next());
+            schemes_set = true;
+        }
+        else if (a == "--models") {
+            o.models = splitCsv(next());
+            models_set = true;
+        }
+        else if (a == "--rates") {
+            o.rates = splitCsvDouble(next());
+            rates_set = true;
+        }
+        else if (a == "--seeds") {
+            o.seeds = std::atoi(next().c_str());
+            seeds_set = true;
+        }
+        else if (a == "--policy") o.policy = next();
+        else if (a == "--scale") o.scale = std::atoi(next().c_str());
+        else if (a == "--sms") {
+            o.sms = std::atoi(next().c_str());
+            sms_set = true;
+        }
+        else if (a == "--log-kb")
+            o.logKb = static_cast<std::uint32_t>(std::atoi(next().c_str()));
+        else if (a == "--jobs") o.jobs = std::atoi(next().c_str());
+        else if (a == "--json") o.jsonPath = next();
+        else if (a == "--quick") o.quick = true;
+        else if (a == "--help" || a == "-h") {
+            usage();
+            std::exit(0);
+        } else {
+            usage();
+            fatal("unknown flag '%s'", a.c_str());
+        }
+    }
+    // --quick shrinks every axis the user did not pin explicitly.
+    if (o.quick) {
+        if (!workloads_set)
+            o.workloads = {"sgemm"};
+        if (!schemes_set)
+            o.schemes = {"baseline", "replay-queue"};
+        if (!models_set)
+            o.models = {"bernoulli"};
+        if (!rates_set)
+            o.rates = {0.01};
+        if (!seeds_set)
+            o.seeds = 1;
+        if (!sms_set)
+            o.sms = 4;
+    }
+    if (o.seeds < 1)
+        fatal("--seeds must be >= 1");
+    return o;
+}
+
+std::vector<std::string>
+resolveWorkloads(const Options &o)
+{
+    if (!o.workloads.empty()) {
+        for (const auto &w : o.workloads)
+            if (!workloads::exists(w))
+                fatal("unknown workload '%s'", w.c_str());
+        return o.workloads;
+    }
+    if (o.suite == "parboil")
+        return workloads::parboilSuite();
+    if (o.suite == "halloc")
+        return workloads::hallocSuite();
+    if (o.suite == "all")
+        return workloads::allNames();
+    fatal("unknown suite '%s' (expected parboil | halloc | all)",
+          o.suite.c_str());
+}
+
+std::string
+seriesLabel(inject::ModelKind m, double rate, std::uint64_t seed)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s@%g#%llu", inject::modelName(m),
+                  rate, static_cast<unsigned long long>(seed));
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parseArgs(argc, argv);
+    std::vector<std::string> names = resolveWorkloads(o);
+    if (o.schemes.empty())
+        fatal("--schemes resolved to an empty list");
+    if (o.models.empty())
+        fatal("--models resolved to an empty list");
+    if (o.rates.empty())
+        fatal("--rates resolved to an empty list");
+
+    gpu::GpuConfig base = gpu::GpuConfig::baseline();
+    base.numSms = o.sms;
+    base.operandLogBytes = o.logKb * 1024;
+    // Every campaign run — including the fault-free references — emits
+    // the resilience block, so all rows share one stat schema.
+    base.resilienceStats = true;
+    vm::VmPolicy policy = vm::policyFromName(o.policy);
+
+    std::vector<inject::ModelKind> models;
+    for (const auto &m : o.models) {
+        inject::ModelKind k = inject::modelFromName(m);
+        if (k == inject::ModelKind::None)
+            fatal("--models entries must name a real model, not 'none'");
+        models.push_back(k);
+    }
+
+    // Grid: per (workload, scheme) one fault-free reference (series
+    // "ref") followed by every (model, rate, seed) point. The ref run
+    // is the denominator of the slowdown column.
+    harness::SweepEngine eng(o.jobs);
+    std::map<std::pair<std::string, std::string>, std::size_t> refIdx;
+    for (const auto &w : names) {
+        for (const auto &s : o.schemes) {
+            harness::RunSpec ref;
+            ref.workload = w;
+            ref.scale = o.scale;
+            ref.cfg = base;
+            ref.cfg.scheme = gpu::schemeFromName(s);
+            ref.policy = policy;
+            ref.group = w + "/" + s;
+            ref.series = "ref";
+            refIdx[{w, s}] = eng.add(std::move(ref));
+
+            for (inject::ModelKind m : models) {
+                for (double rate : o.rates) {
+                    for (int seed = 1; seed <= o.seeds; ++seed) {
+                        harness::RunSpec rs;
+                        rs.workload = w;
+                        rs.scale = o.scale;
+                        rs.cfg = base;
+                        rs.cfg.scheme = gpu::schemeFromName(s);
+                        rs.policy = policy;
+                        rs.policy.inject.model = m;
+                        rs.policy.inject.rate = rate;
+                        rs.policy.inject.seed =
+                            static_cast<std::uint64_t>(seed);
+                        rs.group = w + "/" + s;
+                        rs.series = seriesLabel(
+                            m, rate, static_cast<std::uint64_t>(seed));
+                        eng.add(std::move(rs));
+                    }
+                }
+            }
+        }
+    }
+
+    std::printf("faultsim: %zu workloads x %zu schemes x (%zu models x "
+                "%zu rates x %d seeds + ref) = %zu runs, %d jobs\n",
+                names.size(), o.schemes.size(), models.size(),
+                o.rates.size(), o.seeds, eng.size(), eng.jobs());
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<harness::RunRecord> runs = eng.run();
+    auto t1 = std::chrono::steady_clock::now();
+    double wall = std::chrono::duration<double>(t1 - t0).count();
+
+    // Slowdown relative to the same group's fault-free reference
+    // (>= 1.0 means injection cost cycles; the paper's resilience
+    // question is how each scheme bounds this).
+    for (harness::RunRecord &r : runs) {
+        auto it = refIdx.find({r.spec.workload,
+                               gpu::schemeName(r.spec.cfg.scheme)});
+        if (it == refIdx.end())
+            continue;
+        const harness::RunRecord &ref = runs[it->second];
+        if (ref.result.cycles == 0)
+            continue;
+        r.derived["slowdown"] = static_cast<double>(r.result.cycles) /
+                                static_cast<double>(ref.result.cycles);
+    }
+
+    std::printf("%-12s %-14s %-22s %10s %9s %9s %9s\n", "benchmark",
+                "scheme", "series", "cycles", "slowdown", "injected",
+                "replays");
+    for (const harness::RunRecord &r : runs) {
+        std::printf("%-12s %-14s %-22s %10llu %9.3f %9.0f %9.0f\n",
+                    r.spec.workload.c_str(),
+                    gpu::schemeName(r.spec.cfg.scheme),
+                    r.spec.seriesLabel().c_str(),
+                    static_cast<unsigned long long>(r.result.cycles),
+                    r.derived.count("slowdown") ? r.derived.at("slowdown")
+                                                : 0.0,
+                    r.result.stats.get("mmu.injected_faults"),
+                    r.result.stats.get("resil.replays_total"));
+    }
+
+    std::map<std::string, double> gms =
+        harness::seriesGeomeans(runs, "slowdown");
+    std::printf("geomean slowdown by series:\n");
+    for (const auto &kv : gms)
+        if (kv.first != "ref")
+            std::printf("  %-22s %9.3f\n", kv.first.c_str(), kv.second);
+    std::printf("wall time: %.2fs (%d jobs, %zu traces)\n", wall,
+                eng.jobs(), eng.traces().size());
+
+    if (!o.jsonPath.empty()) {
+        harness::SweepReport rep;
+        rep.name = "gexsim_faultsim";
+        rep.jobs = eng.jobs();
+        rep.wallSeconds = wall;
+        rep.runs = std::move(runs);
+        rep.geomeans = std::move(gms);
+        rep.saveJson(o.jsonPath);
+        std::printf("wrote %s\n", o.jsonPath.c_str());
+    }
+    return 0;
+}
