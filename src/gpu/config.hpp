@@ -103,6 +103,16 @@ struct SmConfig {
 /** Whole-GPU configuration (paper Table 1, System section). */
 struct GpuConfig {
     int numSms = 16;
+    /**
+     * Worker threads ticking the SM-local pipeline phase of one run
+     * (gpu::Gpu::run's phased tick engine). 1 (the default) keeps the
+     * fully serial driver; values above numSms are clamped. Results
+     * are bit-identical at every setting: shared-resource accesses
+     * (L2, DRAM, MMU, TB scheduler, observer) are drained serially in
+     * ascending SM order regardless of the thread count. Composes
+     * with sweep-engine --jobs; total concurrency is jobs × smThreads.
+     */
+    int smThreads = 1;
     SmConfig sm;
 
     mem::CacheConfig l2 = {"l2", 2 * 1024 * 1024, 8, 70, 512, 2};

@@ -1,9 +1,11 @@
 #include "gpu/gpu.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/json.hpp"
 #include "common/log.hpp"
+#include "common/task_pool.hpp"
 
 namespace gex::gpu {
 
@@ -62,6 +64,7 @@ Gpu::reset(const func::Kernel &kernel, const trace::KernelTrace &trace,
 
     sched_ = std::make_unique<TbScheduler>(trace);
     sms_.clear();
+    sms_.reserve(static_cast<std::size_t>(cfg_.numSms));
     for (int i = 0; i < cfg_.numSms; ++i) {
         sms_.push_back(std::make_unique<sm::Sm>(i, cfg_, *this, *sched_));
         sms_.back()->setObserver(observer_);
@@ -115,19 +118,58 @@ Gpu::run(const func::Kernel &kernel, const trace::KernelTrace &trace,
         }
     }
 
+    // Phased tick engine (see docs/PERFORMANCE.md): per global cycle,
+    // a serial events phase (ascending SM), a parallel SM-local
+    // compute phase, then a serial drain of staged shared-resource
+    // accesses (ascending SM). The drain order equals the access
+    // order of the fully serial tick, so every smThreads setting —
+    // including 1, which skips the pool entirely — produces
+    // bit-identical results.
+    const int nsm = static_cast<int>(sms_.size());
+    const int threads = std::max(1, std::min(cfg_.smThreads, nsm));
+    std::unique_ptr<common::TaskPool> pool;
+    if (threads > 1)
+        pool = std::make_unique<common::TaskPool>(threads);
+    struct TickCtx {
+        std::unique_ptr<sm::Sm> *sms;
+        Cycle now;
+    } tctx{sms_.data(), 0};
+
     Cycle now = 0;
     while (true) {
-        bool any = false;
-        for (auto &s : sms_) {
-            s->tick(now);
-            any |= s->didWork();
+        for (auto &s : sms_)
+            s->tickEvents(now);
+        if (pool) {
+            tctx.now = now;
+            pool->run(nsm,
+                      [](void *c, int i) {
+                          TickCtx *t = static_cast<TickCtx *>(c);
+                          t->sms[i]->tickCompute(t->now);
+                      },
+                      &tctx);
+        } else {
+            for (auto &s : sms_)
+                s->tickCompute(now);
         }
-        if (allDone())
+        bool any = false;
+        bool released = false;
+        for (auto &s : sms_) {
+            s->drainShared(now);
+            any |= s->didWork();
+            released |= s->slotReleased();
+        }
+        // allDone() scans every SM; it can only flip true in a cycle
+        // that emptied a TB slot (or when the machine was idle to
+        // begin with), so the scan is gated on those cases instead of
+        // running every cycle.
+        if (released && allDone())
             break;
         if (any) {
             ++now;
             continue;
         }
+        if (allDone())
+            break;
         Cycle nxt = kNoCycle;
         for (auto &s : sms_)
             nxt = std::min(nxt, s->nextEventCycle());

@@ -66,7 +66,7 @@ PipelineState::emitWarpSlow(Cycle now, obs::PipeEventKind k, int w,
     e.warp = w;
     e.kind = k;
     e.arg = arg;
-    obs->event(e);
+    obsBuf.push_back(e);
 }
 
 void
@@ -83,7 +83,7 @@ PipelineState::emitInstSlow(Cycle now, obs::PipeEventKind k,
     e.traceIdx = in.traceIdx;
     e.staticIdx = in.ti ? in.ti->staticIdx : obs::PipeEvent::kNoIndex;
     e.arg = arg;
-    obs->event(e);
+    obsBuf.push_back(e);
 }
 
 void
@@ -100,7 +100,7 @@ PipelineState::emitFetchSlow(Cycle now, obs::PipeEventKind k, int w,
     e.traceIdx = trace_idx;
     e.staticIdx = static_idx;
     e.arg = arg;
-    obs->event(e);
+    obsBuf.push_back(e);
 }
 
 void
@@ -113,7 +113,7 @@ PipelineState::emitBlockSlow(Cycle now, obs::PipeEventKind k, int slot,
     e.slot = static_cast<std::int16_t>(slot);
     e.kind = k;
     e.arg = block_id;
-    obs->event(e);
+    obsBuf.push_back(e);
 }
 
 } // namespace gex::sm

@@ -120,10 +120,68 @@ Sm::nextEventCycle() const
 void
 Sm::tick(Cycle now)
 {
+    tickEvents(now);
+    tickCompute(now);
+    drainShared(now);
+}
+
+void
+Sm::tickEvents(Cycle now)
+{
     st_.didWork = false;
+    st_.slotReleased = false;
     processEvents(now);
+}
+
+void
+Sm::tickCompute(Cycle now)
+{
     fetch_.tick(now);
     issue_.tick(now);
+}
+
+void
+Sm::drainShared(Cycle now)
+{
+    for (const StagedOp &op : st_.staged) {
+        if (op.kind == StagedOp::Kind::Bulk) {
+            Cycle done =
+                sys_.bulkDramTraffic(now, st_.li.contextBytesPerBlock) +
+                st_.cfg.contextSwitchOverhead;
+            st_.scheduleEventAt(done, op.seq, op.doneKind, op.arg, op.id);
+            continue;
+        }
+        // Staged global-memory instruction: the deferred tail of
+        // IssueStage::tryIssueHead. op_read completes the cycle after
+        // issue, and issue happened this cycle, so now + 1 is the same
+        // op_read the in-place call would have used.
+        Inflight &in = st_.pool[op.id];
+        WarpRt &wr = st_.warps[static_cast<size_t>(in.warp)];
+        in.mem = st_.lsu.processGlobal(*in.si, *in.ti,
+                                       wr.tr->lines(*in.ti), now + 1,
+                                       st_.policy.stallFaultsInPipeline(),
+                                       st_.cfg.faultRetryLatency);
+        if (in.mem.faulted) {
+            st_.scheduleInstEventAt(in.mem.faultDetect, op.seq,
+                                    EvKind::FaultReact, in.warp, op.id);
+            wr.maxCommitScheduled =
+                std::max(wr.maxCommitScheduled, in.mem.faultDetect);
+        } else {
+            st_.scheduleInstEventAt(in.mem.lastTlbCheck, op.seq,
+                                    EvKind::LastCheck, in.warp, op.id);
+            in.commitAt = in.mem.execDone + 1;
+            st_.scheduleInstEventAt(in.commitAt, op.seq + 1,
+                                    EvKind::Commit, in.warp, op.id);
+            wr.maxCommitScheduled =
+                std::max(wr.maxCommitScheduled, in.commitAt);
+        }
+    }
+    st_.staged.clear();
+    if (!st_.obsBuf.empty()) {
+        for (const obs::PipeEvent &e : st_.obsBuf)
+            st_.obs->event(e);
+        st_.obsBuf.clear();
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -200,16 +258,18 @@ Sm::processEvents(Cycle now)
                 break;
             }
             ts.state = TbSlot::State::Saving;
-            Cycle done;
             if (st_.cfg.idealContextSwitch) {
-                done = now + 1;
+                st_.scheduleEvent(now + 1, EvKind::SaveDone, slot,
+                                  UINT32_MAX);
             } else {
-                done = sys_.bulkDramTraffic(now,
-                                            st_.li.contextBytesPerBlock) +
-                       st_.cfg.contextSwitchOverhead;
+                // Bulk DRAM traffic touches the shared memory system;
+                // stage it for the drain phase with the seq the
+                // in-place scheduleEvent would have consumed.
                 st_.contextBytesMoved += st_.li.contextBytesPerBlock;
+                st_.staged.push_back({StagedOp::Kind::Bulk,
+                                      EvKind::SaveDone, slot, UINT32_MAX,
+                                      st_.reserveSeq()});
             }
-            st_.scheduleEvent(done, EvKind::SaveDone, slot, UINT32_MAX);
             break;
           }
           case EvKind::SaveDone: {
@@ -235,6 +295,7 @@ Sm::processEvents(Cycle now)
                           ob.blockId);
             st_.offchip.push_back(std::move(ob));
             ts = TbSlot{};
+            st_.slotReleased = true;
             ++st_.switchOuts;
             fillEmptySlots(now);
             break;
@@ -318,6 +379,7 @@ Sm::finishBlock(int slot, Cycle now)
         st_.wakeWarp(ts.firstWarp + j);
     }
     ts = TbSlot{};
+    st_.slotReleased = true;
     ++st_.blocksCompleted;
     fillEmptySlots(now);
 }
@@ -387,15 +449,6 @@ Sm::fillEmptySlots(Cycle now)
                 std::move(st_.offchip[static_cast<size_t>(best)]);
             st_.offchip.erase(st_.offchip.begin() + best);
             ts.state = TbSlot::State::Restoring;
-            Cycle done;
-            if (st_.cfg.idealContextSwitch) {
-                done = now + 1;
-            } else {
-                done = sys_.bulkDramTraffic(now,
-                                            st_.li.contextBytesPerBlock) +
-                       st_.cfg.contextSwitchOverhead;
-                st_.contextBytesMoved += st_.li.contextBytesPerBlock;
-            }
             std::uint32_t rid =
                 static_cast<std::uint32_t>(st_.restorePending.size());
             for (std::uint32_t r = 0; r < st_.restorePending.size(); ++r) {
@@ -407,8 +460,17 @@ Sm::fillEmptySlots(Cycle now)
             if (rid == st_.restorePending.size())
                 st_.restorePending.push_back(OffchipBlock{});
             st_.restorePending[rid] = std::move(ob);
-            st_.scheduleEvent(done, EvKind::RestoreDone,
-                              static_cast<std::int32_t>(s), rid);
+            if (st_.cfg.idealContextSwitch) {
+                st_.scheduleEvent(now + 1, EvKind::RestoreDone,
+                                  static_cast<std::int32_t>(s), rid);
+            } else {
+                // Shared bulk DRAM traffic: staged like the save path.
+                st_.contextBytesMoved += st_.li.contextBytesPerBlock;
+                st_.staged.push_back({StagedOp::Kind::Bulk,
+                                      EvKind::RestoreDone,
+                                      static_cast<std::int32_t>(s), rid,
+                                      st_.reserveSeq()});
+            }
             continue;
         }
 

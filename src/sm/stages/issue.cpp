@@ -158,30 +158,22 @@ IssueStage::tryIssueHead(int w, Cycle now)
 
     acquireOperands(st_, in, now);
 
-    bool faulted = false;
     if (is_global) {
         st_.lsuIssuedAt = now;
         ++st_.inflightMem;
-        in.mem = st_.lsu.processGlobal(si, ti, wr.tr->lines(ti), op_read,
-                                       st_.policy.stallFaultsInPipeline(),
-                                       st_.cfg.faultRetryLatency);
-        faulted = in.mem.faulted;
-        if (faulted) {
-            st_.scheduleInstEvent(in.mem.faultDetect, EvKind::FaultReact,
-                                  w, id);
-        } else {
-            st_.scheduleInstEvent(in.mem.lastTlbCheck, EvKind::LastCheck,
-                                  w, id);
-            in.commitAt = in.mem.execDone + 1;
-            st_.scheduleInstEvent(in.commitAt, EvKind::Commit, w, id);
-        }
-        // Source release point depends on the scheme.
+        // The LSU tail (translation through the shared MMU, L2/DRAM
+        // access) runs in the serial drain phase; stage it with two
+        // reserved seqs so the LastCheck-then-Commit (or FaultReact)
+        // events sort exactly where the in-place calls put them. The
+        // timeline feeds only strictly-future events, so nothing else
+        // this cycle needs it.
+        st_.staged.push_back({StagedOp::Kind::Mem, EvKind::LastCheck, w,
+                              id, st_.reserveSeq(2)});
+        // Source release point depends on the scheme. Under the
+        // replay-queue scheme, sources of a faulted instruction stay
+        // held until it is squashed (its last TLB check never comes).
         if (st_.policy.releaseSourcesAtOperandRead(true)) {
             st_.scheduleInstEvent(op_read, EvKind::SourceRelease, w, id);
-        } else if (faulted) {
-            // Replay-queue scheme: sources stay held until the last
-            // TLB check, which never happens for a faulted
-            // instruction; they release when it is squashed.
         }
     } else {
         Cycle start = 0;
@@ -232,8 +224,12 @@ IssueStage::tryIssueHead(int w, Cycle now)
     }
 
     ++wr.inflight;
-    wr.maxCommitScheduled = std::max(
-        wr.maxCommitScheduled, faulted ? in.mem.faultDetect : in.commitAt);
+    // Global-memory instructions extend maxCommitScheduled in the
+    // drain phase, once their timeline exists; no reader runs before
+    // then (the drain-time users all live in the events phase).
+    if (!is_global)
+        wr.maxCommitScheduled =
+            std::max(wr.maxCommitScheduled, in.commitAt);
     ++st_.instsIssued;
     st_.didWork = true;
     return true;

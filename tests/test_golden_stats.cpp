@@ -117,21 +117,28 @@ const GoldenPoint kGolden[] = {
 TEST(GoldenStats, EveryPointBitIdenticalToCapturedBaseline)
 {
     harness::TraceCache cache; // share each workload's trace across points
-    for (const GoldenPoint &pt : kGolden) {
-        SCOPED_TRACE(std::string(pt.workload) + "/" + pt.scheme + "/" +
-                     pt.policy + (pt.blockSwitching ? "/bs" : ""));
-        const harness::TracedWorkload &tw = cache.get(pt.workload);
-        gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
-        cfg.scheme = gpu::schemeFromName(pt.scheme);
-        cfg.blockSwitching = pt.blockSwitching;
-        gpu::Gpu g(cfg);
-        gpu::SimResult r =
-            g.run(tw.kernel, tw.trace, policyByName(pt.policy));
-        EXPECT_EQ(static_cast<std::uint64_t>(r.cycles), pt.cycles);
-        EXPECT_EQ(r.instructions, pt.instructions);
-        EXPECT_EQ(digestStats(r), pt.statsDigest)
-            << "a statistic changed value — the timing refactor is no "
-               "longer behavior-neutral";
+    // The phased tick engine promises bit-identical results at any
+    // smThreads setting, so the golden table must hold at each one.
+    for (int smThreads : {1, 4, 8}) {
+        for (const GoldenPoint &pt : kGolden) {
+            SCOPED_TRACE(std::string(pt.workload) + "/" + pt.scheme +
+                         "/" + pt.policy +
+                         (pt.blockSwitching ? "/bs" : "") +
+                         "/smThreads=" + std::to_string(smThreads));
+            const harness::TracedWorkload &tw = cache.get(pt.workload);
+            gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
+            cfg.scheme = gpu::schemeFromName(pt.scheme);
+            cfg.blockSwitching = pt.blockSwitching;
+            cfg.smThreads = smThreads;
+            gpu::Gpu g(cfg);
+            gpu::SimResult r =
+                g.run(tw.kernel, tw.trace, policyByName(pt.policy));
+            EXPECT_EQ(static_cast<std::uint64_t>(r.cycles), pt.cycles);
+            EXPECT_EQ(r.instructions, pt.instructions);
+            EXPECT_EQ(digestStats(r), pt.statsDigest)
+                << "a statistic changed value — the timing refactor is "
+                   "no longer behavior-neutral";
+        }
     }
 }
 

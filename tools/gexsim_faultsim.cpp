@@ -49,6 +49,7 @@ struct Options {
     int sms = 16;
     std::uint32_t logKb = 16;
     int jobs = 1;
+    int smThreads = 1;
     bool quick = false;
 };
 
@@ -70,6 +71,8 @@ usage()
         "  --sms N             number of SMs (default 16)\n"
         "  --log-kb N          operand log size in KB (default 16)\n"
         "  --jobs N            worker threads (default 1; 0 = all cores)\n"
+        "  --sm-threads N      SM-tick threads inside each run (default 1;\n"
+        "                      results identical at any value)\n"
         "  --json FILE         write the full result set as JSON\n"
         "  --quick             CI smoke grid: one small workload, two\n"
         "                      schemes, one model/rate/seed, 4 SMs\n");
@@ -143,6 +146,8 @@ parseArgs(int argc, char **argv)
         else if (a == "--log-kb")
             o.logKb = static_cast<std::uint32_t>(std::atoi(next().c_str()));
         else if (a == "--jobs") o.jobs = std::atoi(next().c_str());
+        else if (a == "--sm-threads")
+            o.smThreads = std::atoi(next().c_str());
         else if (a == "--json") o.jsonPath = next();
         else if (a == "--quick") o.quick = true;
         else if (a == "--help" || a == "-h") {
@@ -221,6 +226,7 @@ main(int argc, char **argv)
     // Every campaign run — including the fault-free references — emits
     // the resilience block, so all rows share one stat schema.
     base.resilienceStats = true;
+    base.smThreads = o.smThreads;
     vm::VmPolicy policy = vm::policyFromName(o.policy);
 
     std::vector<inject::ModelKind> models;

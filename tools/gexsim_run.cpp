@@ -31,6 +31,7 @@ struct Options {
     std::string policy = "resident";
     std::string link = "nvlink";
     int sms = 16;
+    int smThreads = 1;
     std::uint32_t logKb = 16;
     bool blockSwitching = false;
     bool idealSwitch = false;
@@ -54,6 +55,8 @@ usage()
         "                      output-faults[-local] | heap-faults[-local]\n"
         "  --link L            nvlink | pcie\n"
         "  --sms N             number of SMs (default 16)\n"
+        "  --sm-threads N      threads ticking the SMs of this run\n"
+        "                      (default 1; results identical at any value)\n"
         "  --block-switching   enable UC1 block switching\n"
         "  --ideal-switch      1-cycle context save/restore\n"
         "  --arith-exceptions  enable the arithmetic-exception extension\n"
@@ -93,6 +96,8 @@ parseArgs(int argc, char **argv)
         else if (a == "--policy") o.policy = next();
         else if (a == "--link") o.link = next();
         else if (a == "--sms") o.sms = std::atoi(next().c_str());
+        else if (a == "--sm-threads")
+            o.smThreads = std::atoi(next().c_str());
         else if (a == "--block-switching") o.blockSwitching = true;
         else if (a == "--ideal-switch") o.idealSwitch = true;
         else if (a == "--arith-exceptions") o.arithExceptions = true;
@@ -133,6 +138,7 @@ main(int argc, char **argv)
     cfg.scheme = gpu::schemeFromName(o.scheme);
     cfg.operandLogBytes = o.logKb * 1024;
     cfg.numSms = o.sms;
+    cfg.smThreads = o.smThreads;
     cfg.hostLink = o.link == "pcie" ? vm::HostLinkConfig::pcie()
                                     : vm::HostLinkConfig::nvlink();
     cfg.blockSwitching = o.blockSwitching;

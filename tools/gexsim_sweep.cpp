@@ -37,6 +37,7 @@ struct Options {
     int sms = 16;
     std::uint32_t logKb = 16;
     int jobs = 1;
+    int smThreads = 1;
     bool blockSwitching = false;
     bool listWorkloads = false;
 };
@@ -57,6 +58,8 @@ usage()
         "  --log-kb N          operand log size in KB (default 16)\n"
         "  --block-switching   enable UC1 block switching\n"
         "  --jobs N            worker threads (default 1; 0 = all cores)\n"
+        "  --sm-threads N      SM-tick threads inside each run (default 1;\n"
+        "                      results identical at any value)\n"
         "  --json FILE         write the full result set as JSON\n"
         "  --list              list built-in workloads\n");
 }
@@ -99,6 +102,8 @@ parseArgs(int argc, char **argv)
             o.logKb = static_cast<std::uint32_t>(std::atoi(next().c_str()));
         else if (a == "--block-switching") o.blockSwitching = true;
         else if (a == "--jobs") o.jobs = std::atoi(next().c_str());
+        else if (a == "--sm-threads")
+            o.smThreads = std::atoi(next().c_str());
         else if (a == "--json") o.jsonPath = next();
         else if (a == "--list") o.listWorkloads = true;
         else if (a == "--help" || a == "-h") {
@@ -153,6 +158,7 @@ main(int argc, char **argv)
     base.hostLink = o.link == "pcie" ? vm::HostLinkConfig::pcie()
                                      : vm::HostLinkConfig::nvlink();
     base.blockSwitching = o.blockSwitching;
+    base.smThreads = o.smThreads;
     vm::VmPolicy policy = vm::policyFromName(o.policy);
 
     harness::SweepEngine eng(o.jobs);
