@@ -1,0 +1,56 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace gex {
+
+std::string
+ErrorContext::describe() const
+{
+    std::ostringstream os;
+    const char *sep = "";
+    if (cycle != kNoCycle) {
+        os << "cycle " << cycle;
+        sep = ", ";
+    }
+    if (sm >= 0) {
+        os << sep << "sm " << sm;
+        sep = ", ";
+    }
+    if (warp >= 0) {
+        os << sep << "warp " << warp;
+        sep = ", ";
+    }
+    if (!scheme.empty()) {
+        os << sep << "scheme " << scheme;
+        sep = ", ";
+    }
+    if (!workload.empty())
+        os << sep << "workload " << workload;
+    return os.str();
+}
+
+GexError::GexError(std::string kind, const std::string &message,
+                   ErrorContext ctx, std::string diagnostics)
+    : std::runtime_error(message), kind_(std::move(kind)),
+      ctx_(std::move(ctx)), diag_(std::move(diagnostics))
+{
+}
+
+std::string
+GexError::report() const
+{
+    std::string out = kind_ + ": " + what();
+    std::string where = ctx_.describe();
+    if (!where.empty())
+        out += "\n  at " + where;
+    if (!diag_.empty()) {
+        out += "\n";
+        out += diag_;
+        if (out.back() != '\n')
+            out += '\n';
+    }
+    return out;
+}
+
+} // namespace gex

@@ -315,6 +315,14 @@ class Parser
             char c = text_[pos_++];
             if (c == '"')
                 return true;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                // A raw control byte inside a string is how a torn or
+                // corrupted document usually manifests; JSON requires
+                // these to be \u-escaped.
+                --pos_;
+                fail("unescaped control character in string");
+                return false;
+            }
             if (c != '\\') {
                 out += c;
                 continue;
@@ -373,6 +381,23 @@ class Parser
 
     bool
     parseValue(Value &v)
+    {
+        // Containers recurse once per nesting level; a pathological
+        // "[[[[..." document must produce a parse error, not exhaust
+        // the thread stack. 200 levels is far beyond any document the
+        // writer emits.
+        if (depth_ >= kMaxDepth) {
+            fail("nesting deeper than 200 levels");
+            return false;
+        }
+        ++depth_;
+        bool ok = parseValueInner(v);
+        --depth_;
+        return ok;
+    }
+
+    bool
+    parseValueInner(Value &v)
     {
         skipWs();
         if (pos_ >= text_.size()) {
@@ -453,6 +478,13 @@ class Parser
                 fail("bad number");
                 return false;
             }
+            // strtod happily consumes C hex floats ("0x1A"), which
+            // JSON forbids.
+            for (const char *p = start; p != end; ++p)
+                if (*p == 'x' || *p == 'X') {
+                    fail("hex numbers are not JSON");
+                    return false;
+                }
             v.kind = Value::Kind::Number;
             v.number = d;
             pos_ += static_cast<std::size_t>(end - start);
@@ -462,9 +494,12 @@ class Parser
         return false;
     }
 
+    static constexpr int kMaxDepth = 200;
+
     const std::string &text_;
     std::string *error_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
 };
 
 } // namespace

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "common/error.hpp"
+
 namespace gex {
 
 namespace {
@@ -64,8 +66,7 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     std::string msg = vstrprintf(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "[gex FATAL] %s\n", msg.c_str());
-    std::exit(1);
+    throw ConfigError(msg);
 }
 
 void

@@ -30,8 +30,10 @@ void logf(LogLevel lvl, const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
 /**
- * Exit with a message: the user asked for something unsupported or
- * inconsistent (bad configuration, malformed kernel). Never returns.
+ * Report a user error: something unsupported or inconsistent was asked
+ * for (bad configuration, malformed kernel). Throws gex::ConfigError
+ * (common/error.hpp) so harnesses can survive a bad grid point and
+ * tools can catch at the top level; never returns normally.
  */
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/error.hpp"
 #include "common/log.hpp"
 #include "sm/coalescer.hpp"
 
@@ -207,8 +208,9 @@ FunctionalSim::runBlock(const Kernel &kernel, std::uint32_t block_id,
             }
         }
         if (!progressed)
-            fatal("functional deadlock in kernel '%s' block %u",
-                  prog.name().c_str(), block_id);
+            throw TraceError(strprintf(
+                "functional deadlock in kernel '%s' block %u",
+                prog.name().c_str(), block_id));
     }
 }
 
@@ -223,9 +225,10 @@ FunctionalSim::stepWarp(const Kernel &kernel, BlockExec &blk, WarpExec &we,
         return false;
     }
     if (++we.instCount > maxWarpInsts_)
-        fatal("kernel '%s': warp exceeded %llu dynamic instructions",
-              kernel.program.name().c_str(),
-              static_cast<unsigned long long>(maxWarpInsts_));
+        throw TraceError(strprintf(
+            "kernel '%s': warp exceeded %llu dynamic instructions",
+            kernel.program.name().c_str(),
+            static_cast<unsigned long long>(maxWarpInsts_)));
 
     const isa::Program &prog = kernel.program;
     SimtStack::Entry &e = we.stack.top();
@@ -308,8 +311,9 @@ FunctionalSim::stepWarp(const Kernel &kernel, BlockExec &blk, WarpExec &we,
         break;
       case Opcode::BAR:
         if (mask != (we.launchMask & ~we.exited))
-            fatal("kernel '%s': divergent barrier at pc %u",
-                  prog.name().c_str(), pc);
+            throw TraceError(strprintf(
+                "kernel '%s': divergent barrier at pc %u",
+                prog.name().c_str(), pc));
         we.atBarrier = true;
         break;
       case Opcode::EXIT: {

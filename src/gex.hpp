@@ -20,6 +20,7 @@
 #ifndef GEX_GEX_HPP
 #define GEX_GEX_HPP
 
+#include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "common/stats.hpp"
@@ -29,6 +30,7 @@
 #include "func/memory.hpp"
 #include "gpu/config.hpp"
 #include "gpu/gpu.hpp"
+#include "harness/journal.hpp"
 #include "harness/sweep.hpp"
 #include "inject/fault_model.hpp"
 #include "inject/rng.hpp"

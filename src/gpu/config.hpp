@@ -160,6 +160,36 @@ struct GpuConfig {
      */
     bool resilienceStats = false;
 
+    // --- robustness knobs (docs/ROBUSTNESS.md) -------------------------
+
+    /**
+     * Forward-progress watchdog window, in cycles; 0 disables. If no
+     * instruction commits and no thread block retires for a full
+     * window while warps are resident, the run raises LivelockError
+     * with a per-warp state snapshot instead of spinning forever
+     * (detection latency is between one and two windows). Pure
+     * observation: the watchdog never changes simulation results, and
+     * its bookkeeping runs at most once per window, off the hot path.
+     */
+    Cycle watchdogCycles = 2'000'000;
+    /**
+     * Capture the last watchdogLastEvents pipeline events (src/obs)
+     * for the watchdog's diagnostics bundle. Off by default: attaching
+     * the capture observer makes every emission site construct its
+     * event, which plain runs should not pay for. Composes with a
+     * user observer (events are forwarded).
+     */
+    bool watchdogCaptureEvents = false;
+    /** Ring capacity for watchdogCaptureEvents. */
+    int watchdogLastEvents = 64;
+    /**
+     * Hard cycle budget; 0 means unlimited. A run that reaches this
+     * cycle raises CycleBudgetExceeded — the backstop that bounds one
+     * grid point's cost in a campaign even when it commits just often
+     * enough to evade the watchdog.
+     */
+    Cycle maxCycles = 0;
+
     /**
      * Extension (paper sections 3.1/3.2): make arithmetic exceptions
      * (divide by zero, ...) preemptible too. Under the warp-disable

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/log.hpp"
 #include "common/task_pool.hpp"
@@ -63,11 +64,23 @@ Gpu::reset(const func::Kernel &kernel, const trace::KernelTrace &trace,
     vm::applyPolicy(*dir_, kernel, policy);
 
     sched_ = std::make_unique<TbScheduler>(trace);
+    // Watchdog event capture: a bounded ring teeing into the user's
+    // observer (if any). Only built on request — attaching any
+    // observer makes every emission site construct its event, which
+    // plain runs must not pay for.
+    lastK_.reset();
+    obs::PipelineObserver *eff = observer_;
+    if (cfg_.watchdogCaptureEvents) {
+        lastK_ = std::make_unique<obs::LastKObserver>(
+            static_cast<std::size_t>(std::max(1, cfg_.watchdogLastEvents)),
+            observer_);
+        eff = lastK_.get();
+    }
     sms_.clear();
     sms_.reserve(static_cast<std::size_t>(cfg_.numSms));
     for (int i = 0; i < cfg_.numSms; ++i) {
         sms_.push_back(std::make_unique<sm::Sm>(i, cfg_, *this, *sched_));
-        sms_.back()->setObserver(observer_);
+        sms_.back()->setObserver(eff);
     }
 }
 
@@ -82,13 +95,46 @@ Gpu::allDone() const
     return true;
 }
 
+bool
+Gpu::anyBusy() const
+{
+    for (const auto &s : sms_)
+        if (s->busy())
+            return true;
+    return false;
+}
+
+std::string
+Gpu::diagnose(Cycle now)
+{
+    std::string out;
+    out += strprintf("  pending faults: %d, blocks still queued: %s\n",
+                     mmu_->pendingFaults(now),
+                     sched_->hasPending() ? "yes" : "no");
+    for (auto &s : sms_)
+        s->appendDiagnostics(out);
+    if (lastK_) {
+        out += strprintf("  last %d pipeline events:\n",
+                         cfg_.watchdogLastEvents);
+        out += lastK_->render();
+    } else {
+        out += "  (recent-event capture off; set "
+               "GpuConfig::watchdogCaptureEvents for the event tail)\n";
+    }
+    return out;
+}
+
 SimResult
 Gpu::run(const func::Kernel &kernel, const trace::KernelTrace &trace,
          const vm::VmPolicy &policy)
 {
     kernel.program.validate();
-    GEX_ASSERT(trace.blocks.size() == kernel.numBlocks(),
-               "trace/kernel geometry mismatch");
+    if (trace.blocks.size() != kernel.numBlocks())
+        throw TraceError(strprintf(
+            "trace/kernel geometry mismatch: trace has %zu blocks, "
+            "kernel '%s' declares %u",
+            trace.blocks.size(), kernel.program.name().c_str(),
+            kernel.numBlocks()));
     reset(kernel, trace, policy);
 
     sm::LaunchInfo li;
@@ -135,8 +181,52 @@ Gpu::run(const func::Kernel &kernel, const trace::KernelTrace &trace,
         Cycle now;
     } tctx{sms_.data(), 0};
 
+    // Forward-progress watchdog (docs/ROBUSTNESS.md): the run loop
+    // pays one predictable `now >= checkAt` branch per cycle; the
+    // actual progress scan (summing commits and retired blocks across
+    // SMs) runs at most once per window. Progress is measured against
+    // the last scan, so a livelock is detected between one and two
+    // windows after the last commit/retire. The maxCycles budget
+    // shares the same branch via the min() below.
+    const Cycle wdWindow = cfg_.watchdogCycles;
+    const Cycle budget = cfg_.maxCycles ? cfg_.maxCycles : kNoCycle;
+    Cycle wdCheckAt = wdWindow ? wdWindow : kNoCycle;
+    Cycle checkAt = std::min(wdCheckAt, budget);
+    std::uint64_t wdLastProgress = 0;
+    Cycle wdProgressAt = 0;
+
     Cycle now = 0;
     while (true) {
+        if (now >= checkAt) {
+            ErrorContext ctx;
+            ctx.cycle = now;
+            ctx.scheme = schemeName(cfg_.scheme);
+            if (now >= budget)
+                throw CycleBudgetExceeded(
+                    strprintf("run reached the %llu-cycle budget "
+                              "(GpuConfig::maxCycles)",
+                              static_cast<unsigned long long>(budget)),
+                    std::move(ctx), diagnose(now));
+            std::uint64_t progress = 0;
+            for (auto &s : sms_)
+                progress += s->instsCommitted() + s->blocksCompleted();
+            if (progress == wdLastProgress && anyBusy())
+                throw LivelockError(
+                    strprintf("forward-progress watchdog: no instruction "
+                              "committed and no thread block retired in "
+                              "%llu cycles (window %llu, last progress "
+                              "at cycle %llu)",
+                              static_cast<unsigned long long>(
+                                  now - wdProgressAt),
+                              static_cast<unsigned long long>(wdWindow),
+                              static_cast<unsigned long long>(
+                                  wdProgressAt)),
+                    std::move(ctx), diagnose(now));
+            wdLastProgress = progress;
+            wdProgressAt = now;
+            wdCheckAt = now + wdWindow;
+            checkAt = std::min(wdCheckAt, budget);
+        }
         for (auto &s : sms_)
             s->tickEvents(now);
         if (pool) {
@@ -173,9 +263,19 @@ Gpu::run(const func::Kernel &kernel, const trace::KernelTrace &trace,
         Cycle nxt = kNoCycle;
         for (auto &s : sms_)
             nxt = std::min(nxt, s->nextEventCycle());
-        if (nxt == kNoCycle)
-            panic("GPU deadlock at cycle %llu: no work and no events",
-                  static_cast<unsigned long long>(now));
+        if (nxt == kNoCycle) {
+            // Warps are resident but nothing can ever run again: a
+            // survivable, classifiable event — the harness records the
+            // point and the campaign continues (docs/ROBUSTNESS.md).
+            ErrorContext ctx;
+            ctx.cycle = now;
+            ctx.scheme = schemeName(cfg_.scheme);
+            throw DeadlockError(
+                strprintf("GPU deadlock at cycle %llu: no work and no "
+                          "future events while warps are resident",
+                          static_cast<unsigned long long>(now)),
+                std::move(ctx), diagnose(now));
+        }
         now = std::max(now + 1, nxt);
     }
 

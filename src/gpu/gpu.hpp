@@ -97,6 +97,15 @@ class Gpu : public sm::MemorySystem
     void reset(const func::Kernel &kernel,
                const trace::KernelTrace &trace, const vm::VmPolicy &policy);
     bool allDone() const;
+    /** Any SM still owns a block (resident or switched out)? */
+    bool anyBusy() const;
+    /**
+     * Render the machine-state diagnostics bundle for DeadlockError /
+     * LivelockError / CycleBudgetExceeded: per-SM warp dumps, pending
+     * fault count, and — when watchdogCaptureEvents is on — the last-K
+     * pipeline events from the capture ring.
+     */
+    std::string diagnose(Cycle now);
 
     GpuConfig cfg_;
     std::unique_ptr<mem::Cache> l2_;
@@ -112,6 +121,12 @@ class Gpu : public sm::MemorySystem
     std::unique_ptr<TbScheduler> sched_;
     std::vector<std::unique_ptr<sm::Sm>> sms_;
     obs::PipelineObserver *observer_ = nullptr;
+    /**
+     * Last-K event capture ring for watchdog diagnostics, created per
+     * reset() when GpuConfig::watchdogCaptureEvents is set; tees into
+     * observer_ so capture composes with a user observer.
+     */
+    std::unique_ptr<obs::LastKObserver> lastK_;
 };
 
 } // namespace gex::gpu

@@ -6,8 +6,10 @@
 #include <fstream>
 #include <thread>
 
+#include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/log.hpp"
+#include "harness/journal.hpp"
 
 namespace gex::harness {
 
@@ -66,6 +68,69 @@ SweepEngine::add(RunSpec spec)
     return specs_.size() - 1;
 }
 
+const char *
+pointStatusName(PointStatus s)
+{
+    switch (s) {
+    case PointStatus::Ok: return "ok";
+    case PointStatus::Failed: return "failed";
+    case PointStatus::Livelock: return "livelock";
+    case PointStatus::Budget: return "budget";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Execute one grid point, classifying any thrown error instead of
+ * propagating it (docs/ROBUSTNESS.md): the record always comes back
+ * filled. Failed points (ConfigError, TraceError, DeadlockError,
+ * unknown exceptions — anything potentially transient or environmental)
+ * are retried up to @p maxRetries times; Livelock and Budget outcomes
+ * are deterministic functions of the spec and never retried.
+ */
+void
+runOnePoint(TraceCache &cache, const RunSpec &rs, int maxRetries,
+            RunRecord &rec)
+{
+    rec.spec = rs;
+    for (int attempt = 1;; ++attempt) {
+        rec.attempts = attempt;
+        rec.status = PointStatus::Ok;
+        rec.error.clear();
+        try {
+            const TracedWorkload &tw = cache.get(rs.workload, rs.scale);
+            gpu::Gpu g(rs.cfg);
+            rec.result = g.run(tw.kernel, tw.trace, rs.policy);
+            return;
+        } catch (const LivelockError &ex) {
+            rec.status = PointStatus::Livelock;
+            rec.error = ex.report();
+        } catch (const CycleBudgetExceeded &ex) {
+            rec.status = PointStatus::Budget;
+            rec.error = ex.report();
+        } catch (const GexError &ex) {
+            rec.status = PointStatus::Failed;
+            rec.error = ex.report();
+        } catch (const std::exception &ex) {
+            rec.status = PointStatus::Failed;
+            rec.error = std::string("exception: ") + ex.what();
+        }
+        rec.result = gpu::SimResult{};
+        if (rec.status != PointStatus::Failed || attempt > maxRetries) {
+            logf(LogLevel::Warn, "grid point %s: %s (recorded, %d %s)",
+                 pointKey(rs).c_str(), pointStatusName(rec.status),
+                 attempt, attempt == 1 ? "attempt" : "attempts");
+            return;
+        }
+        logf(LogLevel::Warn, "grid point %s failed (attempt %d/%d); "
+             "retrying", pointKey(rs).c_str(), attempt, maxRetries + 1);
+    }
+}
+
+} // namespace
+
 std::vector<RunRecord>
 SweepEngine::run()
 {
@@ -74,29 +139,36 @@ SweepEngine::run()
 
     std::vector<RunRecord> records(specs.size());
     std::atomic<std::size_t> nextIdx{0};
-    std::atomic<bool> failed{false};
+    std::atomic<bool> stop{false};
     std::mutex errMu;
-    std::string firstError;
+    std::string campaignError; // journal I/O death, not a point failure
 
     auto worker = [&]() {
-        while (!failed.load(std::memory_order_relaxed)) {
+        while (!stop.load(std::memory_order_relaxed)) {
             std::size_t i = nextIdx.fetch_add(1);
             if (i >= specs.size())
                 return;
-            try {
-                const RunSpec &rs = specs[i];
-                const TracedWorkload &tw =
-                    cache_.get(rs.workload, rs.scale);
-                gpu::Gpu g(rs.cfg);
-                records[i].spec = rs;
-                records[i].result =
-                    g.run(tw.kernel, tw.trace, rs.policy);
-            } catch (const std::exception &ex) {
-                std::lock_guard<std::mutex> lock(errMu);
-                if (firstError.empty())
-                    firstError = ex.what();
-                failed.store(true, std::memory_order_relaxed);
-                return;
+            const RunSpec &rs = specs[i];
+            RunRecord &rec = records[i];
+            if (journal_ && journal_->lookup(rs, &rec)) {
+                rec.spec = rs;
+                continue;
+            }
+            runOnePoint(cache_, rs, maxRetries_, rec);
+            // The journal write sits outside the point's own error
+            // handling: an unwritable journal is campaign-level
+            // trouble (the resume contract can no longer be honored),
+            // not a property of this grid point.
+            if (journal_) {
+                try {
+                    journal_->record(rec);
+                } catch (const std::exception &ex) {
+                    std::lock_guard<std::mutex> lock(errMu);
+                    if (campaignError.empty())
+                        campaignError = ex.what();
+                    stop.store(true, std::memory_order_relaxed);
+                    return;
+                }
             }
         }
     };
@@ -115,8 +187,8 @@ SweepEngine::run()
             th.join();
     }
 
-    if (failed.load())
-        fatal("sweep run failed: %s", firstError.c_str());
+    if (!campaignError.empty())
+        throw ConfigError("sweep journal failed: " + campaignError);
     return records;
 }
 
@@ -126,10 +198,12 @@ normalizeToSeries(std::vector<RunRecord> &runs,
 {
     std::map<std::string, double> baseCycles;
     for (const RunRecord &r : runs)
-        if (r.spec.seriesLabel() == baseSeries)
+        if (r.ok() && r.spec.seriesLabel() == baseSeries)
             baseCycles[r.spec.groupLabel()] =
                 static_cast<double>(r.result.cycles);
     for (RunRecord &r : runs) {
+        if (!r.ok())
+            continue;
         auto it = baseCycles.find(r.spec.groupLabel());
         if (it == baseCycles.end() || r.result.cycles == 0)
             continue;
@@ -143,6 +217,8 @@ seriesGeomeans(const std::vector<RunRecord> &runs, const std::string &key)
 {
     std::map<std::string, std::vector<double>> bySeries;
     for (const RunRecord &r : runs) {
+        if (!r.ok())
+            continue;
         auto it = r.derived.find(key);
         if (it != r.derived.end() && it->second > 0.0)
             bySeries[r.spec.seriesLabel()].push_back(it->second);
@@ -153,14 +229,29 @@ seriesGeomeans(const std::vector<RunRecord> &runs, const std::string &key)
     return out;
 }
 
+std::size_t
+SweepReport::countStatus(PointStatus s) const
+{
+    std::size_t n = 0;
+    for (const RunRecord &r : runs)
+        if (r.status == s)
+            ++n;
+    return n;
+}
+
 void
 SweepReport::writeJson(std::ostream &os) const
 {
     json::Writer w(os);
     w.beginObject();
     w.key("name").value(name);
-    w.key("jobs").value(jobs);
-    w.key("wall_seconds").value(wallSeconds);
+    if (!deterministic) {
+        // Execution-environment fields; omitted under the resume
+        // contract so a resumed campaign's document is byte-identical
+        // to an uninterrupted run's at any --jobs (docs/ROBUSTNESS.md).
+        w.key("jobs").value(jobs);
+        w.key("wall_seconds").value(wallSeconds);
+    }
     w.key("runs").beginArray();
     for (const RunRecord &r : runs) {
         w.beginObject();
@@ -176,6 +267,9 @@ SweepReport::writeJson(std::ostream &os) const
             .value(inject::modelName(r.spec.policy.inject.model));
         w.key("inject_rate").value(r.spec.policy.inject.rate);
         w.key("inject_seed").value(r.spec.policy.inject.seed);
+        w.key("status").value(pointStatusName(r.status));
+        w.key("attempts").value(r.attempts);
+        w.key("error").value(r.error);
         w.key("cycles").value(
             static_cast<std::uint64_t>(r.result.cycles));
         w.key("instructions").value(r.result.instructions);
@@ -203,7 +297,8 @@ SweepReport::saveJson(const std::string &path) const
 {
     std::ofstream os(path);
     if (!os)
-        fatal("cannot open '%s' for writing", path.c_str());
+        throw ConfigError(
+            strprintf("cannot open '%s' for writing", path.c_str()));
     writeJson(os);
 }
 

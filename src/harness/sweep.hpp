@@ -16,6 +16,7 @@
 #ifndef GEX_HARNESS_SWEEP_HPP
 #define GEX_HARNESS_SWEEP_HPP
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -97,6 +98,21 @@ struct RunSpec {
     }
 };
 
+/**
+ * Outcome of one grid point. A failed point never kills its sweep: the
+ * engine classifies the error, records it here, and moves on — summary
+ * rows (geomeans, normalization) are computed over Ok points only.
+ */
+enum class PointStatus : std::uint8_t {
+    Ok,       ///< simulation completed
+    Failed,   ///< ConfigError/TraceError/unknown exception
+    Livelock, ///< the forward-progress watchdog tripped
+    Budget,   ///< GpuConfig::maxCycles exceeded
+};
+
+/** Canonical status name ("ok", "failed", "livelock", "budget"). */
+const char *pointStatusName(PointStatus s);
+
 /** A finished grid point: its spec, timing result and derived values. */
 struct RunRecord {
     RunSpec spec;
@@ -106,6 +122,14 @@ struct RunRecord {
      * relative to a baseline series), included in the JSON output.
      */
     std::map<std::string, double> derived;
+
+    PointStatus status = PointStatus::Ok;
+    /** "<Kind>: <message>" plus diagnostics when status != Ok. */
+    std::string error;
+    /** Executions of this point (1 + retries of transient failures). */
+    int attempts = 1;
+
+    bool ok() const { return status == PointStatus::Ok; }
 };
 
 /**
@@ -138,14 +162,33 @@ class SweepEngine
      * Blocks until all runs finish. May be called repeatedly; each
      * call consumes the specs queued since the previous one. Traces
      * are cached across calls.
+     *
+     * Resilience contract (docs/ROBUSTNESS.md): a point that throws
+     * is recorded with its classified PointStatus and error text —
+     * the sweep itself always completes. Failed (but not livelocked
+     * or budget-exceeded: those are deterministic) points are retried
+     * up to maxRetries() times before being recorded.
      */
     std::vector<RunRecord> run();
 
     /** The engine's trace cache (shared across run() calls). */
     TraceCache &traces() { return cache_; }
 
+    /** Retries for transiently-Failed points (default 1). */
+    int maxRetries() const { return maxRetries_; }
+    void setMaxRetries(int n) { maxRetries_ = n < 0 ? 0 : n; }
+
+    /**
+     * Attach a crash-resume journal (nullptr detaches): points already
+     * journaled are restored instead of re-run, and every finished
+     * point is recorded. The journal must outlive run().
+     */
+    void setJournal(class CampaignJournal *j) { journal_ = j; }
+
   private:
     int jobs_;
+    int maxRetries_ = 1;
+    class CampaignJournal *journal_ = nullptr;
     TraceCache cache_;
     std::vector<RunSpec> specs_;
 };
@@ -178,12 +221,23 @@ struct SweepReport {
     std::string name;        ///< bench/tool name ("fig10_schemes", ...)
     int jobs = 1;            ///< worker threads used
     double wallSeconds = 0;  ///< sweep wall-clock time
+    /**
+     * Omit the execution-environment fields (jobs, wall_seconds) from
+     * the JSON so the document is a pure function of the grid and its
+     * results. Set by the tools whenever a resume journal is in use:
+     * the resume contract promises a resumed campaign's final JSON is
+     * byte-identical to an uninterrupted run's at any --jobs.
+     */
+    bool deterministic = false;
     std::vector<RunRecord> runs;
     std::map<std::string, double> geomeans; ///< per-series summary
 
+    /** Runs with the given status. */
+    std::size_t countStatus(PointStatus s) const;
+
     void writeJson(std::ostream &os) const;
 
-    /** writeJson() to @p path; fatal() when the file cannot be opened. */
+    /** writeJson() to @p path; throws ConfigError when unwritable. */
     void saveJson(const std::string &path) const;
 };
 

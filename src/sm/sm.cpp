@@ -1,6 +1,7 @@
 #include "sm/sm.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/log.hpp"
 #include "gpu/local_scheduler.hpp"
@@ -559,6 +560,61 @@ Sm::collectResilienceStats(StatSet &s) const
           static_cast<double>(st_.faultBlockedCycles));
     s.add("resil.fetch_disabled_warp_cycles",
           static_cast<double>(st_.fetchDisabledCycles));
+}
+
+void
+Sm::appendDiagnostics(std::string &out) const
+{
+    std::ostringstream os;
+    auto slotState = [](TbSlot::State st) {
+        switch (st) {
+          case TbSlot::State::Empty: return "empty";
+          case TbSlot::State::Running: return "running";
+          case TbSlot::State::Draining: return "draining";
+          case TbSlot::State::Saving: return "saving";
+          case TbSlot::State::Restoring: return "restoring";
+        }
+        return "?";
+    };
+    os << "  sm" << st_.smId << ": " << st_.instsCommitted
+       << " committed, " << st_.blocksCompleted << " blocks retired, "
+       << st_.offchip.size() << " blocks off-chip, lsu in-flight "
+       << st_.inflightMem << "\n";
+    for (std::size_t i = 0; i < st_.slots.size(); ++i) {
+        const TbSlot &ts = st_.slots[i];
+        if (ts.state == TbSlot::State::Empty)
+            continue;
+        os << "    slot " << i << ": block " << ts.blockId << " "
+           << slotState(ts.state) << ", " << ts.warpsFinished << "/"
+           << ts.numWarps << " warps finished\n";
+    }
+    for (int w = 0; w < st_.activeWarps; ++w) {
+        const WarpRt &wr = st_.warps[static_cast<std::size_t>(w)];
+        if (wr.slot < 0 || wr.finished)
+            continue;
+        // Classify the stage the warp is wedged in, most-specific
+        // condition first.
+        const char *stage = "issue-wait";
+        if (wr.frozen)
+            stage = "frozen-for-switch";
+        else if (wr.faultBlocked)
+            stage = "fault-blocked";
+        else if (wr.waitingBarrier)
+            stage = "barrier";
+        else if (wr.wdFetchDisable)
+            stage = "wd-fetch-disabled";
+        else if (!wr.replayQ.empty())
+            stage = "replay-wait";
+        else if (wr.ibuf.empty())
+            stage = "fetch-wait";
+        os << "    w" << w << ": slot " << wr.slot << " " << stage
+           << ", ibuf " << wr.ibuf.size() << ", replayQ "
+           << wr.replayQ.size() << ", inflight " << wr.inflight;
+        if (wr.blockedUntil)
+            os << ", blocked until " << wr.blockedUntil;
+        os << "\n";
+    }
+    out += os.str();
 }
 
 } // namespace gex::sm

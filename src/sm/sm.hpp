@@ -102,6 +102,16 @@ class Sm
     void collectResilienceStats(StatSet &s) const;
 
     std::uint64_t instsCommitted() const { return st_.instsCommitted; }
+    std::uint64_t blocksCompleted() const { return st_.blocksCompleted; }
+
+    /**
+     * Append a human-readable per-warp state dump to @p out — which
+     * stage each resident warp is blocked in, its replay-queue and
+     * i-buffer depths and in-flight count — for DeadlockError /
+     * LivelockError diagnostics (docs/ROBUSTNESS.md). Warps that are
+     * finished or whose slot is empty are skipped.
+     */
+    void appendDiagnostics(std::string &out) const;
 
     /**
      * Attach a pipeline observer (nullptr detaches). The observer

@@ -1,6 +1,7 @@
 /** @file Unit + integration tests: functional simulator semantics. */
 
 #include <gtest/gtest.h>
+#include "common/error.hpp"
 
 #include <bit>
 #include <cmath>
@@ -376,8 +377,7 @@ TEST(Functional, DeadlockDetectionOnDivergentBarrier)
     k.grid = {1, 1, 1};
     k.block = {32, 1, 1};
     FunctionalSim fsim(mem);
-    EXPECT_EXIT(fsim.run(k), ::testing::ExitedWithCode(1),
-                "divergent barrier");
+    EXPECT_THROW(fsim.run(k), TraceError);
 }
 
 TEST(Functional, DynamicInstCountsConsistent)

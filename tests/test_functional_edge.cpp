@@ -6,6 +6,7 @@
  */
 
 #include <gtest/gtest.h>
+#include "common/error.hpp"
 
 #include "func/functional_sim.hpp"
 #include "kasm/builder.hpp"
@@ -195,8 +196,7 @@ TEST(FunctionalEdge, HeapExhaustionIsFatal)
     k.grid = {1, 1, 1};
     k.block = {32, 1, 1}; // 32 lanes x 1 KB > 4 KB heap
     FunctionalSim fsim(mem);
-    EXPECT_EXIT(fsim.run(k), ::testing::ExitedWithCode(1),
-                "heap exhausted");
+    EXPECT_THROW(fsim.run(k), ConfigError);
 }
 
 TEST(FunctionalEdge, RunawayLoopGuard)
@@ -214,8 +214,7 @@ TEST(FunctionalEdge, RunawayLoopGuard)
     k.block = {32, 1, 1};
     FunctionalSim fsim(mem);
     fsim.setMaxWarpInsts(10000);
-    EXPECT_EXIT(fsim.run(k), ::testing::ExitedWithCode(1),
-                "exceeded");
+    EXPECT_THROW(fsim.run(k), TraceError);
 }
 
 TEST(FunctionalEdge, MembarAndNopFlowThrough)

@@ -6,6 +6,7 @@
  */
 
 #include <gtest/gtest.h>
+#include "common/error.hpp"
 
 #include "func/functional_sim.hpp"
 #include "gpu/gpu.hpp"
@@ -104,7 +105,7 @@ TEST(GpuTop, GeometryMismatchIsFatal)
     func::Kernel wrong = bt->kernel;
     wrong.grid.x += 1; // grid no longer matches the trace
     gpu::Gpu g(gpu::GpuConfig::baseline());
-    EXPECT_DEATH(g.run(wrong, bt->trace), "geometry");
+    EXPECT_THROW(g.run(wrong, bt->trace), TraceError);
 }
 
 TEST(GpuTop, SingleSmStillCompletes)

@@ -1,6 +1,7 @@
 /** @file Unit tests: ISA opcodes, traits, instructions, programs. */
 
 #include <gtest/gtest.h>
+#include "common/error.hpp"
 
 #include "isa/instruction.hpp"
 #include "isa/opcodes.hpp"
@@ -120,7 +121,7 @@ TEST(Program, ValidateDeathOnFallOffEnd)
     insts[0].op = Opcode::IADD;
     insts[0].dst = 0;
     Program p("bad", insts, 4, 0, 0);
-    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1), "");
+    EXPECT_THROW(p.validate(), ConfigError);
 }
 
 TEST(Program, ValidateDeathOnBadTarget)
@@ -130,7 +131,7 @@ TEST(Program, ValidateDeathOnBadTarget)
     insts[0].target = 99;
     insts[1].op = Opcode::EXIT;
     Program p("bad", insts, 4, 0, 0);
-    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1), "");
+    EXPECT_THROW(p.validate(), ConfigError);
 }
 
 TEST(Program, ValidateDeathOnRegOutOfRange)
@@ -140,7 +141,7 @@ TEST(Program, ValidateDeathOnRegOutOfRange)
     insts[0].dst = 30; // >= regsPerThread (4)
     insts[1].op = Opcode::EXIT;
     Program p("bad", insts, 4, 0, 0);
-    EXPECT_EXIT(p.validate(), ::testing::ExitedWithCode(1), "");
+    EXPECT_THROW(p.validate(), ConfigError);
 }
 
 TEST(Program, DisassembleListsAllInstructions)

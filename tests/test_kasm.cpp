@@ -1,6 +1,7 @@
 /** @file Unit tests: KernelBuilder and the text assembler. */
 
 #include <gtest/gtest.h>
+#include "common/error.hpp"
 
 #include <cstring>
 
@@ -104,7 +105,7 @@ TEST(Builder, UnboundLabelIsFatal)
     auto l = b.label();
     b.bra(l);
     b.exit();
-    EXPECT_EXIT(b.build(), ::testing::ExitedWithCode(1), "never bound");
+    EXPECT_THROW(b.build(), ConfigError);
 }
 
 TEST(Lexer, TokenKinds)
@@ -236,8 +237,8 @@ TEST(Assembler, DirectivesApplied)
 
 TEST(Assembler, UnknownMnemonicIsFatal)
 {
-    EXPECT_EXIT(assemble(".kernel x\n    frobnicate r0\n    exit\n"),
-                ::testing::ExitedWithCode(1), "");
+    EXPECT_THROW(assemble(".kernel x\n    frobnicate r0\n    exit\n"),
+                 ConfigError);
 }
 
 } // namespace

@@ -6,6 +6,7 @@
  */
 
 #include <gtest/gtest.h>
+#include "common/error.hpp"
 
 #include <cmath>
 
@@ -32,8 +33,7 @@ TEST(WorkloadRegistry, AllNamesExistAndSuitesCovered)
 TEST(WorkloadRegistry, UnknownNameIsFatal)
 {
     func::GlobalMemory mem;
-    EXPECT_EXIT(workloads::make("nope", mem),
-                ::testing::ExitedWithCode(1), "unknown workload");
+    EXPECT_THROW(workloads::make("nope", mem), ConfigError);
 }
 
 /** Every workload traces successfully and has sane metadata. */

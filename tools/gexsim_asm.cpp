@@ -17,12 +17,15 @@
 #include <sstream>
 #include <string>
 
+#include "cli.hpp"
 #include "gex.hpp"
 
 using namespace gex;
 
+namespace {
+
 int
-main(int argc, char **argv)
+toolMain(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr,
@@ -45,12 +48,14 @@ main(int argc, char **argv)
         };
         if (a == "--run") run = true;
         else if (a == "--blocks")
-            blocks = static_cast<std::uint32_t>(std::atoi(next().c_str()));
+            blocks = static_cast<std::uint32_t>(
+                cli::parseInt("--blocks", next(), 1, 1 << 20));
         else if (a == "--threads")
-            threads = static_cast<std::uint32_t>(std::atoi(next().c_str()));
+            threads = static_cast<std::uint32_t>(
+                cli::parseInt("--threads", next(), 1, 1024));
         else if (a == "--buffer-kb")
             buffer_kb = static_cast<std::uint64_t>(
-                std::atoll(next().c_str()));
+                cli::parseInt("--buffer-kb", next(), 1, 1 << 20));
         else if (a == "--scheme") scheme = next();
         else if (a == "--stats") dump_stats = true;
         else fatal("unknown flag '%s'", a.c_str());
@@ -105,4 +110,12 @@ main(int argc, char **argv)
     if (dump_stats)
         r.stats.dump(std::cout, "  ");
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return cli::run("gexsim-asm", [&] { return toolMain(argc, argv); });
 }

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
 #include "gex.hpp"
 
 using namespace gex;
@@ -34,6 +35,10 @@ using namespace gex;
 namespace {
 
 struct Options {
+    std::string resumePath;
+    std::uint64_t watchdog = 2'000'000;
+    std::uint64_t maxCycles = 0;
+    int retries = 1;
     std::vector<std::string> workloads;
     std::vector<std::string> schemes = {"baseline", "wd-commit",
                                         "wd-lastcheck", "replay-queue",
@@ -74,6 +79,16 @@ usage()
         "  --sm-threads N      SM-tick threads inside each run (default 1;\n"
         "                      results identical at any value)\n"
         "  --json FILE         write the full result set as JSON\n"
+        "  --resume FILE       campaign journal: record every finished\n"
+        "                      point there and skip points already in it\n"
+        "                      (--json output is then byte-identical to\n"
+        "                      an uninterrupted run at any --jobs)\n"
+        "  --retries N         retries for transiently failed points\n"
+        "                      (default 1)\n"
+        "  --watchdog N        forward-progress watchdog window in cycles\n"
+        "                      (default 2000000; 0 disables)\n"
+        "  --max-cycles N      per-point hard cycle budget (default 0 =\n"
+        "                      unlimited)\n"
         "  --quick             CI smoke grid: one small workload, two\n"
         "                      schemes, one model/rate/seed, 4 SMs\n");
 }
@@ -95,11 +110,11 @@ splitCsv(const std::string &s)
 }
 
 std::vector<double>
-splitCsvDouble(const std::string &s)
+splitCsvDouble(const char *flag, const std::string &s)
 {
     std::vector<double> out;
     for (const auto &tok : splitCsv(s))
-        out.push_back(std::atof(tok.c_str()));
+        out.push_back(cli::parseRate(flag, tok));
     return out;
 }
 
@@ -130,25 +145,38 @@ parseArgs(int argc, char **argv)
             models_set = true;
         }
         else if (a == "--rates") {
-            o.rates = splitCsvDouble(next());
+            o.rates = splitCsvDouble("--rates", next());
             rates_set = true;
         }
         else if (a == "--seeds") {
-            o.seeds = std::atoi(next().c_str());
+            o.seeds = cli::parseIntFlag("--seeds", next(), 1, 1 << 20);
             seeds_set = true;
         }
         else if (a == "--policy") o.policy = next();
-        else if (a == "--scale") o.scale = std::atoi(next().c_str());
+        else if (a == "--scale")
+            o.scale = cli::parseIntFlag("--scale", next(), 1, 1 << 20);
         else if (a == "--sms") {
-            o.sms = std::atoi(next().c_str());
+            o.sms = cli::parseIntFlag("--sms", next(), 1, 4096);
             sms_set = true;
         }
         else if (a == "--log-kb")
-            o.logKb = static_cast<std::uint32_t>(std::atoi(next().c_str()));
-        else if (a == "--jobs") o.jobs = std::atoi(next().c_str());
+            o.logKb = static_cast<std::uint32_t>(
+                cli::parseInt("--log-kb", next(), 1, 1 << 20));
+        else if (a == "--jobs")
+            o.jobs = cli::parseIntFlag("--jobs", next(), 0, 4096);
         else if (a == "--sm-threads")
-            o.smThreads = std::atoi(next().c_str());
+            o.smThreads =
+                cli::parseIntFlag("--sm-threads", next(), 1, 1024);
         else if (a == "--json") o.jsonPath = next();
+        else if (a == "--resume") o.resumePath = next();
+        else if (a == "--retries")
+            o.retries = cli::parseIntFlag("--retries", next(), 0, 100);
+        else if (a == "--watchdog")
+            o.watchdog = static_cast<std::uint64_t>(cli::parseInt(
+                "--watchdog", next(), 0, 0x7fffffffffffffffll));
+        else if (a == "--max-cycles")
+            o.maxCycles = static_cast<std::uint64_t>(cli::parseInt(
+                "--max-cycles", next(), 0, 0x7fffffffffffffffll));
         else if (a == "--quick") o.quick = true;
         else if (a == "--help" || a == "-h") {
             usage();
@@ -206,10 +234,8 @@ seriesLabel(inject::ModelKind m, double rate, std::uint64_t seed)
     return buf;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+toolMain(int argc, char **argv)
 {
     Options o = parseArgs(argc, argv);
     std::vector<std::string> names = resolveWorkloads(o);
@@ -227,6 +253,8 @@ main(int argc, char **argv)
     // the resilience block, so all rows share one stat schema.
     base.resilienceStats = true;
     base.smThreads = o.smThreads;
+    base.watchdogCycles = o.watchdog;
+    base.maxCycles = o.maxCycles;
     vm::VmPolicy policy = vm::policyFromName(o.policy);
 
     std::vector<inject::ModelKind> models;
@@ -241,6 +269,15 @@ main(int argc, char **argv)
     // "ref") followed by every (model, rate, seed) point. The ref run
     // is the denominator of the slowdown column.
     harness::SweepEngine eng(o.jobs);
+    eng.setMaxRetries(o.retries);
+    harness::CampaignJournal journal(o.resumePath);
+    if (journal.active()) {
+        std::size_t loaded = journal.load();
+        if (loaded)
+            std::printf("resume: %zu completed points in %s\n", loaded,
+                        journal.path().c_str());
+        eng.setJournal(&journal);
+    }
     std::map<std::pair<std::string, std::string>, std::size_t> refIdx;
     for (const auto &w : names) {
         for (const auto &s : o.schemes) {
@@ -290,22 +327,38 @@ main(int argc, char **argv)
     // Slowdown relative to the same group's fault-free reference
     // (>= 1.0 means injection cost cycles; the paper's resilience
     // question is how each scheme bounds this).
+    // A point (or its reference) that did not complete has no
+    // meaningful cycle count: it contributes no slowdown and is
+    // excluded from the geomeans below.
     for (harness::RunRecord &r : runs) {
+        if (!r.ok())
+            continue;
         auto it = refIdx.find({r.spec.workload,
                                gpu::schemeName(r.spec.cfg.scheme)});
         if (it == refIdx.end())
             continue;
         const harness::RunRecord &ref = runs[it->second];
-        if (ref.result.cycles == 0)
+        if (!ref.ok() || ref.result.cycles == 0)
             continue;
         r.derived["slowdown"] = static_cast<double>(r.result.cycles) /
                                 static_cast<double>(ref.result.cycles);
     }
 
+    std::size_t dropped = 0;
     std::printf("%-12s %-14s %-22s %10s %9s %9s %9s\n", "benchmark",
                 "scheme", "series", "cycles", "slowdown", "injected",
                 "replays");
     for (const harness::RunRecord &r : runs) {
+        if (!r.ok()) {
+            ++dropped;
+            std::printf("%-12s %-14s %-22s %10s (%d %s)\n",
+                        r.spec.workload.c_str(),
+                        gpu::schemeName(r.spec.cfg.scheme),
+                        r.spec.seriesLabel().c_str(),
+                        harness::pointStatusName(r.status), r.attempts,
+                        r.attempts == 1 ? "attempt" : "attempts");
+            continue;
+        }
         std::printf("%-12s %-14s %-22s %10llu %9.3f %9.0f %9.0f\n",
                     r.spec.workload.c_str(),
                     gpu::schemeName(r.spec.cfg.scheme),
@@ -325,16 +378,31 @@ main(int argc, char **argv)
             std::printf("  %-22s %9.3f\n", kv.first.c_str(), kv.second);
     std::printf("wall time: %.2fs (%d jobs, %zu traces)\n", wall,
                 eng.jobs(), eng.traces().size());
+    if (dropped)
+        std::printf("note: %zu of %zu points did not complete and are "
+                    "excluded from slowdowns and geomeans (per-point "
+                    "status/error in the JSON export)\n",
+                    dropped, runs.size());
 
     if (!o.jsonPath.empty()) {
         harness::SweepReport rep;
         rep.name = "gexsim_faultsim";
         rep.jobs = eng.jobs();
         rep.wallSeconds = wall;
+        rep.deterministic = journal.active();
         rep.runs = std::move(runs);
         rep.geomeans = std::move(gms);
         rep.saveJson(o.jsonPath);
         std::printf("wrote %s\n", o.jsonPath.c_str());
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return cli::run("gexsim-faultsim",
+                    [&] { return toolMain(argc, argv); });
 }

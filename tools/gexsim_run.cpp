@@ -18,6 +18,7 @@
 #include <iostream>
 #include <string>
 
+#include "cli.hpp"
 #include "gex.hpp"
 
 using namespace gex;
@@ -39,6 +40,12 @@ struct Options {
     bool dumpStats = false;
     bool dumpCsv = false;
     bool listWorkloads = false;
+    std::uint64_t watchdog = 2'000'000;
+    std::uint64_t maxCycles = 0;
+    bool captureEvents = false;
+    std::string injectModel = "none";
+    double injectRate = 0.0;
+    std::uint64_t injectSeed = 1;
 };
 
 void
@@ -60,6 +67,15 @@ usage()
         "  --block-switching   enable UC1 block switching\n"
         "  --ideal-switch      1-cycle context save/restore\n"
         "  --arith-exceptions  enable the arithmetic-exception extension\n"
+        "  --inject-model M    none | bernoulli | burst | hot-page |\n"
+        "                      first-touch (default none)\n"
+        "  --inject-rate R     injected fault rate in [0,1] (default 0)\n"
+        "  --inject-seed N     injection campaign seed (default 1)\n"
+        "  --watchdog N        forward-progress watchdog window in cycles\n"
+        "                      (default 2000000; 0 disables)\n"
+        "  --max-cycles N      hard cycle budget (default 0 = unlimited)\n"
+        "  --capture-events    keep the last-K pipeline events for\n"
+        "                      watchdog diagnostics\n"
         "  --stats             dump all statistics\n"
         "  --csv               dump statistics as CSV\n"
         "  --list              list built-in workloads\n");
@@ -89,18 +105,35 @@ parseArgs(int argc, char **argv)
             return argv[++i];
         };
         if (a == "--workload") o.workload = next();
-        else if (a == "--scale") o.scale = std::atoi(next().c_str());
+        else if (a == "--scale")
+            o.scale = cli::parseIntFlag("--scale", next(), 1, 1 << 20);
         else if (a == "--scheme") o.scheme = next();
         else if (a == "--log-kb")
-            o.logKb = static_cast<std::uint32_t>(std::atoi(next().c_str()));
+            o.logKb = static_cast<std::uint32_t>(
+                cli::parseInt("--log-kb", next(), 1, 1 << 20));
         else if (a == "--policy") o.policy = next();
         else if (a == "--link") o.link = next();
-        else if (a == "--sms") o.sms = std::atoi(next().c_str());
+        else if (a == "--sms")
+            o.sms = cli::parseIntFlag("--sms", next(), 1, 4096);
         else if (a == "--sm-threads")
-            o.smThreads = std::atoi(next().c_str());
+            o.smThreads =
+                cli::parseIntFlag("--sm-threads", next(), 1, 1024);
         else if (a == "--block-switching") o.blockSwitching = true;
         else if (a == "--ideal-switch") o.idealSwitch = true;
         else if (a == "--arith-exceptions") o.arithExceptions = true;
+        else if (a == "--inject-model") o.injectModel = next();
+        else if (a == "--inject-rate")
+            o.injectRate = cli::parseRate("--inject-rate", next());
+        else if (a == "--inject-seed")
+            o.injectSeed = static_cast<std::uint64_t>(cli::parseInt(
+                "--inject-seed", next(), 0, 0x7fffffffffffffffll));
+        else if (a == "--watchdog")
+            o.watchdog = static_cast<std::uint64_t>(cli::parseInt(
+                "--watchdog", next(), 0, 0x7fffffffffffffffll));
+        else if (a == "--max-cycles")
+            o.maxCycles = static_cast<std::uint64_t>(cli::parseInt(
+                "--max-cycles", next(), 0, 0x7fffffffffffffffll));
+        else if (a == "--capture-events") o.captureEvents = true;
         else if (a == "--stats") o.dumpStats = true;
         else if (a == "--csv") o.dumpCsv = true;
         else if (a == "--list") o.listWorkloads = true;
@@ -115,10 +148,8 @@ parseArgs(int argc, char **argv)
     return o;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+toolMain(int argc, char **argv)
 {
     Options o = parseArgs(argc, argv);
     if (o.listWorkloads) {
@@ -128,6 +159,9 @@ main(int argc, char **argv)
     }
     if (!workloads::exists(o.workload))
         fatal("unknown workload '%s' (try --list)", o.workload.c_str());
+    if (o.link != "nvlink" && o.link != "pcie")
+        fatal("unknown link '%s' (expected nvlink | pcie)",
+              o.link.c_str());
 
     func::GlobalMemory mem;
     auto w = workloads::make(o.workload, mem, o.scale);
@@ -144,9 +178,17 @@ main(int argc, char **argv)
     cfg.blockSwitching = o.blockSwitching;
     cfg.idealContextSwitch = o.idealSwitch;
     cfg.arithExceptions = o.arithExceptions;
+    cfg.watchdogCycles = o.watchdog;
+    cfg.maxCycles = o.maxCycles;
+    cfg.watchdogCaptureEvents = o.captureEvents;
+
+    vm::VmPolicy policy = parsePolicy(o.policy);
+    policy.inject.model = inject::modelFromName(o.injectModel);
+    policy.inject.rate = o.injectRate;
+    policy.inject.seed = o.injectSeed;
 
     gpu::Gpu g(cfg);
-    auto r = g.run(w.kernel, tr, parsePolicy(o.policy));
+    auto r = g.run(w.kernel, tr, policy);
 
     std::printf("workload      %s (scale %d)\n", o.workload.c_str(),
                 o.scale);
@@ -172,4 +214,13 @@ main(int argc, char **argv)
         r.stats.dumpCsv(std::cout);
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return cli::run("gexsim-run",
+                    [&] { return toolMain(argc, argv); });
 }

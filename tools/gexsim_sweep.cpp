@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
 #include "gex.hpp"
 
 using namespace gex;
@@ -25,6 +26,10 @@ using namespace gex;
 namespace {
 
 struct Options {
+    std::string resumePath;
+    std::uint64_t watchdog = 2'000'000;
+    std::uint64_t maxCycles = 0;
+    int retries = 1;
     std::vector<std::string> workloads;
     std::vector<std::string> schemes = {"baseline", "wd-commit",
                                         "wd-lastcheck", "replay-queue",
@@ -61,6 +66,16 @@ usage()
         "  --sm-threads N      SM-tick threads inside each run (default 1;\n"
         "                      results identical at any value)\n"
         "  --json FILE         write the full result set as JSON\n"
+        "  --resume FILE       campaign journal: record every finished\n"
+        "                      point there and skip points already in it\n"
+        "                      (--json output is then byte-identical to\n"
+        "                      an uninterrupted run at any --jobs)\n"
+        "  --retries N         retries for transiently failed points\n"
+        "                      (default 1)\n"
+        "  --watchdog N        forward-progress watchdog window in cycles\n"
+        "                      (default 2000000; 0 disables)\n"
+        "  --max-cycles N      per-point hard cycle budget (default 0 =\n"
+        "                      unlimited)\n"
         "  --list              list built-in workloads\n");
 }
 
@@ -96,15 +111,29 @@ parseArgs(int argc, char **argv)
         else if (a == "--schemes") o.schemes = splitCsv(next());
         else if (a == "--policy") o.policy = next();
         else if (a == "--link") o.link = next();
-        else if (a == "--scale") o.scale = std::atoi(next().c_str());
-        else if (a == "--sms") o.sms = std::atoi(next().c_str());
+        else if (a == "--scale")
+            o.scale = cli::parseIntFlag("--scale", next(), 1, 1 << 20);
+        else if (a == "--sms")
+            o.sms = cli::parseIntFlag("--sms", next(), 1, 4096);
         else if (a == "--log-kb")
-            o.logKb = static_cast<std::uint32_t>(std::atoi(next().c_str()));
+            o.logKb = static_cast<std::uint32_t>(
+                cli::parseInt("--log-kb", next(), 1, 1 << 20));
         else if (a == "--block-switching") o.blockSwitching = true;
-        else if (a == "--jobs") o.jobs = std::atoi(next().c_str());
+        else if (a == "--jobs")
+            o.jobs = cli::parseIntFlag("--jobs", next(), 0, 4096);
         else if (a == "--sm-threads")
-            o.smThreads = std::atoi(next().c_str());
+            o.smThreads =
+                cli::parseIntFlag("--sm-threads", next(), 1, 1024);
         else if (a == "--json") o.jsonPath = next();
+        else if (a == "--resume") o.resumePath = next();
+        else if (a == "--retries")
+            o.retries = cli::parseIntFlag("--retries", next(), 0, 100);
+        else if (a == "--watchdog")
+            o.watchdog = static_cast<std::uint64_t>(cli::parseInt(
+                "--watchdog", next(), 0, 0x7fffffffffffffffll));
+        else if (a == "--max-cycles")
+            o.maxCycles = static_cast<std::uint64_t>(cli::parseInt(
+                "--max-cycles", next(), 0, 0x7fffffffffffffffll));
         else if (a == "--list") o.listWorkloads = true;
         else if (a == "--help" || a == "-h") {
             usage();
@@ -136,10 +165,8 @@ resolveWorkloads(const Options &o)
           o.suite.c_str());
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+toolMain(int argc, char **argv)
 {
     Options o = parseArgs(argc, argv);
     if (o.listWorkloads) {
@@ -151,6 +178,9 @@ main(int argc, char **argv)
     std::vector<std::string> names = resolveWorkloads(o);
     if (o.schemes.empty())
         fatal("--schemes resolved to an empty list");
+    if (o.link != "nvlink" && o.link != "pcie")
+        fatal("unknown link '%s' (expected nvlink | pcie)",
+              o.link.c_str());
 
     gpu::GpuConfig base = gpu::GpuConfig::baseline();
     base.numSms = o.sms;
@@ -159,9 +189,20 @@ main(int argc, char **argv)
                                      : vm::HostLinkConfig::nvlink();
     base.blockSwitching = o.blockSwitching;
     base.smThreads = o.smThreads;
+    base.watchdogCycles = o.watchdog;
+    base.maxCycles = o.maxCycles;
     vm::VmPolicy policy = vm::policyFromName(o.policy);
 
     harness::SweepEngine eng(o.jobs);
+    eng.setMaxRetries(o.retries);
+    harness::CampaignJournal journal(o.resumePath);
+    if (journal.active()) {
+        std::size_t loaded = journal.load();
+        if (loaded)
+            std::printf("resume: %zu completed points in %s\n", loaded,
+                        journal.path().c_str());
+        eng.setJournal(&journal);
+    }
     for (const auto &w : names) {
         for (const auto &s : o.schemes) {
             harness::RunSpec rs;
@@ -193,15 +234,25 @@ main(int argc, char **argv)
         if (s != baseSeries)
             std::printf(" %12s", s.c_str());
     std::printf("\n");
+    std::size_t dropped = 0;
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const auto &r = runs[i];
-        if (r.spec.seriesLabel() == baseSeries)
+        if (!r.ok()) {
+            ++dropped;
+            if (r.spec.seriesLabel() == baseSeries)
+                std::printf("%-14s %12s", r.spec.workload.c_str(),
+                            harness::pointStatusName(r.status));
+            else
+                std::printf(" %12s",
+                            harness::pointStatusName(r.status));
+        } else if (r.spec.seriesLabel() == baseSeries) {
             std::printf("%-14s %12llu", r.spec.workload.c_str(),
                         static_cast<unsigned long long>(r.result.cycles));
-        else
+        } else {
             std::printf(" %12.3f", r.derived.count("normalized")
                                        ? r.derived.at("normalized")
                                        : 0.0);
+        }
         if ((i + 1) % o.schemes.size() == 0)
             std::printf("\n");
     }
@@ -213,16 +264,31 @@ main(int argc, char **argv)
             std::printf(" %12.3f", gms.count(s) ? gms.at(s) : 0.0);
     std::printf("\nwall time: %.2fs (%d jobs, %zu traces)\n", wall,
                 eng.jobs(), eng.traces().size());
+    if (dropped)
+        std::printf("note: %zu of %zu points did not complete and are "
+                    "excluded from normalized columns and geomeans "
+                    "(per-point status/error in the JSON export)\n",
+                    dropped, runs.size());
 
     if (!o.jsonPath.empty()) {
         harness::SweepReport rep;
         rep.name = "gexsim_sweep";
         rep.jobs = eng.jobs();
         rep.wallSeconds = wall;
+        rep.deterministic = journal.active();
         rep.runs = std::move(runs);
         rep.geomeans = std::move(gms);
         rep.saveJson(o.jsonPath);
         std::printf("wrote %s\n", o.jsonPath.c_str());
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return cli::run("gexsim-sweep",
+                    [&] { return toolMain(argc, argv); });
 }

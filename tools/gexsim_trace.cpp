@@ -23,6 +23,7 @@
 #include <iostream>
 #include <string>
 
+#include "cli.hpp"
 #include "gex.hpp"
 
 using namespace gex;
@@ -82,11 +83,14 @@ parseArgs(int argc, char **argv)
         };
         if (a == "--trace-out") o.traceOut = next();
         else if (a == "--workload") o.workload = next();
-        else if (a == "--scale") o.scale = std::atoi(next().c_str());
+        else if (a == "--scale")
+            o.scale = cli::parseIntFlag("--scale", next(), 1, 1 << 20);
         else if (a == "--scheme") o.scheme = next();
         else if (a == "--policy") o.policy = next();
-        else if (a == "--sms") o.sms = std::atoi(next().c_str());
-        else if (a == "--view") o.view = std::atoi(next().c_str());
+        else if (a == "--sms")
+            o.sms = cli::parseIntFlag("--sms", next(), 1, 4096);
+        else if (a == "--view")
+            o.view = cli::parseIntFlag("--view", next(), 0, 1 << 20);
         else if (a == "--help" || a == "-h") {
             usage();
             std::exit(0);
@@ -161,10 +165,8 @@ class TeeObserver : public obs::PipelineObserver
     obs::PipelineObserver &b_;
 };
 
-} // namespace
-
 int
-main(int argc, char **argv)
+toolMain(int argc, char **argv)
 {
     Options o = parseArgs(argc, argv);
 
@@ -217,4 +219,13 @@ main(int argc, char **argv)
         view.render(std::cout);
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return cli::run("gexsim-trace",
+                    [&] { return toolMain(argc, argv); });
 }
