@@ -36,8 +36,8 @@ speedup(const harness::RunRecord &r)
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+toolMain(int argc, char **argv)
 {
     bench::SweepOptions opt = bench::parseSweepArgs(argc, argv, "ablation");
     harness::SweepEngine eng(opt.jobs);
@@ -186,4 +186,10 @@ main(int argc, char **argv)
                     speedup(runs[feWdl.idx[i]]),
                     speedup(runs[feRq.idx[i]]));
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return cli::run("ablation", [&] { return toolMain(argc, argv); });
 }

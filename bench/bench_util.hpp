@@ -62,9 +62,11 @@ parseSweepArgs(int argc, char **argv, const char *benchName)
                 fatal("flag %s needs a value", a.c_str());
             return argv[++i];
         };
-        if (a == "--jobs") o.jobs = std::atoi(next().c_str());
+        if (a == "--jobs")
+            o.jobs = cli::parseIntFlag("--jobs", next(), 0, 4096);
         else if (a == "--sm-threads")
-            o.smThreads = std::atoi(next().c_str());
+            o.smThreads =
+                cli::parseIntFlag("--sm-threads", next(), 1, 4096);
         else if (a == "--json") o.jsonPath = next();
         else if (a == "--help" || a == "-h") {
             std::printf("%s [--jobs N] [--sm-threads N] [--json FILE]\n",
@@ -84,12 +86,15 @@ parseSweepArgs(int argc, char **argv, const char *benchName)
  * the bench's name, per-run derived metrics and geomean summary.
  * Returns the finished records in add() order. Each entry of
  * @p normalizeTo names a base series; groups containing it get
- * derived["normalized"] = base.cycles / run.cycles.
+ * derived["normalized"] = base.cycles / run.cycles. The report's
+ * resolved_config manifest records @p base — the machine the bench
+ * built its grid from (the swept axes live in the run rows).
  */
 inline std::vector<harness::RunRecord>
 runAndReport(harness::SweepEngine &eng, const SweepOptions &opt,
              const std::string &benchName,
-             const std::vector<std::string> &normalizeTo = {"baseline"})
+             const std::vector<std::string> &normalizeTo = {"baseline"},
+             const config::RunParams &base = config::RunParams::baseline())
 {
     auto t0 = std::chrono::steady_clock::now();
     std::vector<harness::RunRecord> runs = eng.run();
@@ -103,6 +108,7 @@ runAndReport(harness::SweepEngine &eng, const SweepOptions &opt,
         rep.name = benchName;
         rep.jobs = eng.jobs();
         rep.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+        rep.baseConfig = base;
         rep.runs = runs;
         rep.geomeans = harness::seriesGeomeans(runs);
         rep.saveJson(opt.jsonPath);

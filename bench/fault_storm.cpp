@@ -37,8 +37,8 @@ const StormLevel kLevels[] = {
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+toolMain(int argc, char **argv)
 {
     bool quick = false;
     std::vector<char *> rest = {argv[0]};
@@ -116,4 +116,10 @@ main(int argc, char **argv)
                     r.result.stats.get("resil.log_backpressure_cycles"));
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return cli::run("fault_storm", [&] { return toolMain(argc, argv); });
 }

@@ -17,8 +17,8 @@
 
 using namespace gex;
 
-int
-main(int argc, char **argv)
+static int
+toolMain(int argc, char **argv)
 {
     bench::SweepOptions opt =
         bench::parseSweepArgs(argc, argv, "fig10_schemes");
@@ -63,4 +63,10 @@ main(int argc, char **argv)
     std::printf("\npaper: geomean wd-commit 0.84 / wd-lastcheck 0.90 / "
                 "replay-queue 0.94; lbm worst case\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return cli::run("fig10_schemes", [&] { return toolMain(argc, argv); });
 }

@@ -16,8 +16,8 @@
 
 using namespace gex;
 
-int
-main(int argc, char **argv)
+static int
+toolMain(int argc, char **argv)
 {
     bench::SweepOptions opt =
         bench::parseSweepArgs(argc, argv, "fig11_operand_log");
@@ -64,4 +64,10 @@ main(int argc, char **argv)
         std::printf(" %10.3f", gms.at(std::to_string(kb) + "KB"));
     std::printf("\n\npaper: geomean 0.966 at 8KB, 0.992 at 16KB\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return cli::run("fig11_operand_log", [&] { return toolMain(argc, argv); });
 }

@@ -52,8 +52,8 @@ wallOf(const bench::TracedWorkload &tw, const gpu::GpuConfig &cfg,
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+toolMain(int argc, char **argv)
 {
     bench::SweepOptions opt =
         bench::parseSweepArgs(argc, argv, "gexsim-scal-sms");
@@ -178,6 +178,11 @@ main(int argc, char **argv)
         json::Writer w(os);
         w.beginObject();
         w.key("name").value("scal_sms");
+        // The machine every grid point starts from (the swept
+        // sms/scheme/policy axes are per-run fields below).
+        w.key("resolved_config");
+        config::KnobRegistry::instance().writeManifest(
+            w, config::RunParams::baseline());
         w.key("jobs").value(eng.jobs());
         w.key("sm_threads").value(smThreads);
         w.key("host_cpus")
@@ -231,4 +236,10 @@ main(int argc, char **argv)
         std::printf("[wrote %s]\n", opt.jsonPath.c_str());
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return cli::run("scal_sms", [&] { return toolMain(argc, argv); });
 }

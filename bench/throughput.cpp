@@ -202,6 +202,11 @@ writeJson(const std::string &path, bool quick, int jobs, int sm_threads,
     json::Writer w(os);
     w.beginObject();
     w.key("name").value("throughput");
+    // The machine every grid point starts from (scheme/policy/
+    // sm-threads axes are per-point, listed in "points").
+    w.key("resolved_config");
+    config::KnobRegistry::instance().writeManifest(
+        w, config::RunParams::baseline());
     w.key("grid").value(quick ? "quick" : "standard");
     w.key("grid_points").value(static_cast<std::uint64_t>(points.size()));
 
@@ -261,8 +266,8 @@ writeJson(const std::string &path, bool quick, int jobs, int sm_threads,
 
 } // namespace
 
-int
-main(int argc, char **argv)
+static int
+toolMain(int argc, char **argv)
 {
     bool quick = false;
     int jobs = 0;       // sweep phase defaults to all cores
@@ -276,9 +281,11 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (a == "--quick") quick = true;
-        else if (a == "--jobs") jobs = std::atoi(next().c_str());
+        else if (a == "--jobs")
+            jobs = cli::parseIntFlag("--jobs", next(), 0, 4096);
         else if (a == "--sm-threads")
-            smThreads = std::atoi(next().c_str());
+            smThreads =
+                cli::parseIntFlag("--sm-threads", next(), 1, 4096);
         else if (a == "--json") jsonPath = next();
         else if (a == "--help" || a == "-h") {
             std::printf("gexsim-throughput [--quick] [--jobs N] "
@@ -334,4 +341,10 @@ main(int argc, char **argv)
         writeJson(jsonPath, quick, eng.jobs(), smThreads, points, serial,
                   parallel, sweep);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return cli::run("throughput", [&] { return toolMain(argc, argv); });
 }

@@ -25,6 +25,8 @@
 #include "common/log.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "config/cli.hpp"
+#include "config/knob_registry.hpp"
 #include "func/functional_sim.hpp"
 #include "func/kernel.hpp"
 #include "func/memory.hpp"

@@ -37,6 +37,28 @@ schemeFromName(const std::string &name)
           expected.c_str());
 }
 
+const char *
+schedPolicyName(SchedPolicy p)
+{
+    switch (p) {
+      case SchedPolicy::LooseRoundRobin: return "loose-round-robin";
+      case SchedPolicy::GreedyThenOldest: return "greedy-then-oldest";
+    }
+    return "?";
+}
+
+SchedPolicy
+schedPolicyFromName(const std::string &name)
+{
+    for (SchedPolicy p :
+         {SchedPolicy::LooseRoundRobin, SchedPolicy::GreedyThenOldest})
+        if (name == schedPolicyName(p))
+            return p;
+    fatal("unknown scheduling policy '%s' (expected "
+          "loose-round-robin | greedy-then-oldest)",
+          name.c_str());
+}
+
 const std::vector<Scheme> &
 allSchemes()
 {

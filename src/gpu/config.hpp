@@ -51,6 +51,15 @@ enum class SchedPolicy : std::uint8_t {
     GreedyThenOldest, ///< stick with the last warp, then oldest ready
 };
 
+const char *schedPolicyName(SchedPolicy p);
+
+/**
+ * Parse a scheduling policy from its canonical name
+ * ("loose-round-robin", "greedy-then-oldest"); fatal() on unknown
+ * names, listing the accepted spellings.
+ */
+SchedPolicy schedPolicyFromName(const std::string &name);
+
 /** Per-SM microarchitecture (paper Table 1, SM section). */
 struct SmConfig {
     int maxThreadBlocks = 16;

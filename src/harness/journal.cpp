@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/log.hpp"
+#include "config/knob_registry.hpp"
 
 namespace gex::harness {
 
@@ -41,14 +42,6 @@ struct Fnv {
         bytes(b, 8);
     }
     void i(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
-    void b(bool v) { u64(v ? 1 : 0); }
-    void
-    d(double v)
-    {
-        std::uint64_t bits;
-        std::memcpy(&bits, &v, sizeof bits);
-        u64(bits);
-    }
     void
     s(const std::string &v)
     {
@@ -56,68 +49,6 @@ struct Fnv {
         bytes(v.data(), v.size());
     }
 };
-
-void
-hashCache(Fnv &f, const mem::CacheConfig &c)
-{
-    f.s(c.name);
-    f.u64(c.sizeBytes);
-    f.u64(c.ways);
-    f.u64(c.latency);
-    f.u64(c.mshrs);
-    f.i(c.ports);
-    f.b(c.writeAllocate);
-}
-
-void
-hashTlb(Fnv &f, const vm::TlbConfig &c)
-{
-    f.s(c.name);
-    f.u64(c.entries);
-    f.u64(c.ways);
-    f.u64(c.latency);
-    f.u64(c.missQueue);
-}
-
-void
-hashSm(Fnv &f, const gpu::SmConfig &c)
-{
-    f.i(c.maxThreadBlocks);
-    f.i(c.maxWarps);
-    f.u64(c.registerFileBytes);
-    f.u64(c.sharedMemBytes);
-    f.i(c.issueWidth);
-    f.i(c.maxIssuePerWarp);
-    f.i(c.fetchPerCycle);
-    f.i(c.fetchWidth);
-    f.i(c.instBufferDepth);
-    f.i(static_cast<int>(c.schedPolicy));
-    f.i(c.numMathUnits);
-    f.u64(c.mathLatency);
-    f.u64(c.sfuLatency);
-    f.u64(c.branchLatency);
-    f.u64(c.sharedLatency);
-    f.u64(c.atomicExtraLatency);
-    hashCache(f, c.l1);
-    hashTlb(f, c.l1Tlb);
-    f.i(c.translationsPerCycle);
-    f.u64(c.memFrontendCycles);
-    f.i(c.lsuQueueDepth);
-    f.u64(c.fetchRestartPenalty);
-}
-
-void
-hashInject(Fnv &f, const inject::InjectConfig &c)
-{
-    f.i(static_cast<int>(c.model));
-    f.d(c.rate);
-    f.u64(c.seed);
-    f.d(c.burstRate);
-    f.d(c.burstEnter);
-    f.d(c.burstExit);
-    f.d(c.hotFraction);
-    f.d(c.hotBoost);
-}
 
 PointStatus
 pointStatusFromName(const std::string &name, bool *ok)
@@ -167,58 +98,26 @@ pointKey(const RunSpec &spec)
 std::uint64_t
 specDigest(const RunSpec &spec)
 {
-    // Every field that can change the recorded outcome of a point —
-    // including the watchdog/budget knobs, which decide how a
-    // non-terminating point is classified. Deliberately excluded:
-    // GpuConfig::smThreads (and the engine's --jobs), which are pure
-    // execution parallelism with bit-identical results, and the
-    // group/series labels, which are naming only (and already part of
-    // the point key). A new GpuConfig field must be added here.
+    // The config contribution is the knob registry's resultDigest:
+    // every digested knob (everything that can change the recorded
+    // outcome of a point, including the watchdog/budget knobs that
+    // decide how a non-terminating point is classified) hashed as
+    // (name, typed value) in registry order. Execution-only knobs
+    // (GpuConfig::smThreads, and the engine's --jobs) are excluded by
+    // the registry — pure parallelism with bit-identical results — as
+    // are the group/series labels, which are naming only (and already
+    // part of the point key). A new knob registration automatically
+    // lands here; it can never silently be excluded from resume
+    // keying. Hashing names alongside values also means a journal
+    // written before a knob existed never resumes against a binary
+    // that has it (the points safely re-run).
     Fnv f;
     f.s(spec.workload);
     f.i(spec.scale);
-
-    const gpu::GpuConfig &c = spec.cfg;
-    f.i(c.numSms);
-    hashSm(f, c.sm);
-    hashCache(f, c.l2);
-    f.d(c.dramBytesPerCycle);
-    f.u64(c.dramLatency);
-    f.u64(c.migrationGranularityBytes);
-    hashTlb(f, c.mmu.l2Tlb);
-    f.i(c.mmu.numWalkers);
-    f.u64(c.mmu.walkCycles);
-    f.b(c.mmu.localHandling);
-    f.s(c.hostLink.name);
-    f.u64(c.hostLink.oneWayLatency);
-    f.u64(c.hostLink.cpuServiceCycles);
-    f.d(c.hostLink.linkBytesPerCycle);
-    f.u64(c.hostLink.signalBytes);
-    f.u64(c.gpuHandler.handlerCycles);
-    f.u64(c.gpuHandler.allocatorSerialCycles);
-    f.i(static_cast<int>(c.scheme));
-    f.u64(c.operandLogBytes);
-    f.b(c.blockSwitching);
-    f.b(c.idealContextSwitch);
-    f.i(c.maxExtraBlocks);
-    f.i(c.switchQueueThreshold);
-    f.u64(c.contextSwitchOverhead);
-    f.u64(c.minResidencyBeforeSwitch);
-    f.u64(c.faultRetryLatency);
-    f.b(c.resilienceStats);
-    f.u64(c.watchdogCycles);
-    f.b(c.watchdogCaptureEvents);
-    f.i(c.watchdogLastEvents);
-    f.u64(c.maxCycles);
-    f.b(c.arithExceptions);
-    f.u64(c.trapHandlerCycles);
-
-    const vm::VmPolicy &p = spec.policy;
-    f.i(static_cast<int>(p.inputs));
-    f.i(static_cast<int>(p.outputs));
-    f.i(static_cast<int>(p.heap));
-    f.b(p.localHandling);
-    hashInject(f, p.inject);
+    config::RunParams params;
+    params.cfg = spec.cfg;
+    params.policy = spec.policy;
+    f.u64(config::KnobRegistry::instance().resultDigest(params));
     return f.h;
 }
 

@@ -245,6 +245,10 @@ SweepReport::writeJson(std::ostream &os) const
     json::Writer w(os);
     w.beginObject();
     w.key("name").value(name);
+    if (baseConfig) {
+        w.key("resolved_config");
+        config::KnobRegistry::instance().writeManifest(w, *baseConfig);
+    }
     if (!deterministic) {
         // Execution-environment fields; omitted under the resume
         // contract so a resumed campaign's document is byte-identical

@@ -20,11 +20,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "config/knob_registry.hpp"
 #include "func/functional_sim.hpp"
 #include "func/kernel.hpp"
 #include "func/memory.hpp"
@@ -229,6 +231,15 @@ struct SweepReport {
      * byte-identical to an uninterrupted run's at any --jobs.
      */
     bool deterministic = false;
+    /**
+     * The campaign's base configuration (grid axes aside), emitted as
+     * the `resolved_config` provenance manifest: one member per
+     * digested registry knob (config::KnobRegistry::writeManifest).
+     * Feeding the manifest back through `--config` reproduces the
+     * run's result-affecting state exactly. Unset: no manifest (old
+     * schema).
+     */
+    std::optional<config::RunParams> baseConfig;
     std::vector<RunRecord> runs;
     std::map<std::string, double> geomeans; ///< per-series summary
 

@@ -68,6 +68,29 @@ policyName(const VmPolicy &p)
     return "custom";
 }
 
+const char *
+regionStateName(RegionState st)
+{
+    switch (st) {
+      case RegionState::GpuResident: return "gpu-resident";
+      case RegionState::CpuOwned: return "cpu-owned";
+      case RegionState::Untouched: return "untouched";
+      case RegionState::Pending: return "pending";
+    }
+    return "?";
+}
+
+RegionState
+regionStateFromName(const std::string &name)
+{
+    for (RegionState st : {RegionState::GpuResident,
+                           RegionState::CpuOwned, RegionState::Untouched})
+        if (name == regionStateName(st))
+            return st;
+    fatal("unknown residency state '%s' (expected gpu-resident | "
+          "cpu-owned | untouched)", name.c_str());
+}
+
 void
 applyPolicy(PageDirectory &dir, const func::Kernel &kernel,
             const VmPolicy &policy)

@@ -107,6 +107,16 @@ VmPolicy policyFromName(const std::string &name);
  */
 const char *policyName(const VmPolicy &policy);
 
+/**
+ * Canonical name of a settable residency state: "gpu-resident" |
+ * "cpu-owned" | "untouched". RegionState::Pending is transient
+ * simulation state, never part of a policy, and has no name here.
+ */
+const char *regionStateName(RegionState st);
+
+/** Parse a settable residency state name; fatal() on unknown names. */
+RegionState regionStateFromName(const std::string &name);
+
 } // namespace gex::vm
 
 #endif // GEX_VM_MEMORY_MANAGER_HPP

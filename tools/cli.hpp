@@ -1,129 +1,14 @@
 /**
  * @file
- * Shared command-line plumbing for the gexsim_* drivers: validated
- * numeric flag parsing (a bad value is a one-line ConfigError, not a
- * silent atoi(0)) and the top-level error guard that maps the
- * structured error taxonomy (common/error.hpp) onto stable process
- * exit codes (docs/ROBUSTNESS.md, "Exit codes").
+ * Forwarder kept for the historical include spelling: the shared CLI
+ * plumbing (exit codes, validated flag parsing, the registry-driven
+ * ArgParser) lives in src/config/cli.hpp since the knob-registry
+ * refactor, next to the KnobRegistry it is generated from.
  */
 
 #ifndef GEX_TOOLS_CLI_HPP
 #define GEX_TOOLS_CLI_HPP
 
-#include <cerrno>
-#include <cstdio>
-#include <cstdlib>
-#include <exception>
-#include <string>
-
-#include "common/error.hpp"
-#include "common/log.hpp"
-
-namespace gex::cli {
-
-/**
- * Process exit codes of every gexsim tool, one per taxonomy kind so a
- * script (or the CI smokes) can branch on the failure class without
- * parsing stderr.
- */
-enum ExitCode : int {
-    ExitOk = 0,
-    ExitInternal = 1, ///< non-taxonomy exception (simulator bug)
-    ExitConfig = 2,   ///< ConfigError: bad flags / names / files
-    ExitTrace = 3,    ///< TraceError
-    ExitDeadlock = 4, ///< DeadlockError
-    ExitLivelock = 5, ///< LivelockError (watchdog)
-    ExitBudget = 6,   ///< CycleBudgetExceeded (--max-cycles)
-};
-
-inline int
-exitCodeFor(const GexError &e)
-{
-    if (dynamic_cast<const ConfigError *>(&e)) return ExitConfig;
-    if (dynamic_cast<const TraceError *>(&e)) return ExitTrace;
-    if (dynamic_cast<const DeadlockError *>(&e)) return ExitDeadlock;
-    if (dynamic_cast<const LivelockError *>(&e)) return ExitLivelock;
-    if (dynamic_cast<const CycleBudgetExceeded *>(&e)) return ExitBudget;
-    return ExitInternal;
-}
-
-/**
- * Parse @p text (the value of flag @p flag) as a decimal integer in
- * [@p lo, @p hi]; ConfigError on garbage, partial parses or range
- * violations — "--jobs banana" and "--sms 0" both die with one line.
- */
-inline long long
-parseInt(const char *flag, const std::string &text, long long lo,
-         long long hi)
-{
-    errno = 0;
-    char *end = nullptr;
-    long long v = std::strtoll(text.c_str(), &end, 10);
-    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
-        throw ConfigError(strprintf("%s needs an integer, got '%s'",
-                                    flag, text.c_str()));
-    if (v < lo || v > hi)
-        throw ConfigError(
-            strprintf("%s must be in [%lld, %lld], got %lld", flag, lo,
-                      hi, v));
-    return v;
-}
-
-/** parseInt, bounded to [lo, hi] of int. */
-inline int
-parseIntFlag(const char *flag, const std::string &text, int lo, int hi)
-{
-    return static_cast<int>(parseInt(flag, text, lo, hi));
-}
-
-/** Parse a real number in [@p lo, @p hi]; ConfigError otherwise. */
-inline double
-parseDouble(const char *flag, const std::string &text, double lo,
-            double hi)
-{
-    errno = 0;
-    char *end = nullptr;
-    double v = std::strtod(text.c_str(), &end);
-    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
-        throw ConfigError(strprintf("%s needs a number, got '%s'", flag,
-                                    text.c_str()));
-    if (!(v >= lo && v <= hi))
-        throw ConfigError(strprintf("%s must be in [%g, %g], got %g",
-                                    flag, lo, hi, v));
-    return v;
-}
-
-/** Parse a probability/rate in [0, 1]; ConfigError otherwise. */
-inline double
-parseRate(const char *flag, const std::string &text)
-{
-    return parseDouble(flag, text, 0.0, 1.0);
-}
-
-/**
- * Top-level guard every tool's main() delegates to. Flag/config
- * mistakes print one line; simulation errors print the full report
- * (context line + diagnostics bundle); each kind maps to its ExitCode.
- */
-template <typename Fn>
-int
-run(const char *prog, Fn &&fn)
-{
-    try {
-        return fn();
-    } catch (const ConfigError &e) {
-        std::fprintf(stderr, "%s: error: %s\n", prog, e.what());
-        return ExitConfig;
-    } catch (const GexError &e) {
-        std::fprintf(stderr, "%s: %s\n", prog, e.report().c_str());
-        return exitCodeFor(e);
-    } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s: unexpected error: %s\n", prog,
-                     e.what());
-        return ExitInternal;
-    }
-}
-
-} // namespace gex::cli
+#include "config/cli.hpp"
 
 #endif // GEX_TOOLS_CLI_HPP

@@ -7,11 +7,12 @@
  *
  * When running, buffers are synthesized automatically: each kernel
  * parameter becomes the base of a --buffer-kb sized buffer filled with
- * a deterministic pattern, passed in parameter order.
+ * a deterministic pattern, passed in parameter order. The machine
+ * configuration comes from the knob registry (--scheme, --sms, ...,
+ * or a --config spec file); run with --help for the full flag list.
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -27,39 +28,46 @@ namespace {
 int
 toolMain(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: gexsim-asm FILE.kasm [--run] [--blocks N] "
-                     "[--threads N] [--buffer-kb N] [--scheme S] "
-                     "[--stats]\n");
-        return 1;
-    }
-    std::string path = argv[1];
-    bool run = false, dump_stats = false;
+    std::string path;
+    bool run = false, dumpStats = false;
     std::uint32_t blocks = 16, threads = 128;
-    std::uint64_t buffer_kb = 256;
-    std::string scheme = "baseline";
-    for (int i = 2; i < argc; ++i) {
-        std::string a = argv[i];
-        auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
-                fatal("flag %s needs a value", a.c_str());
-            return argv[++i];
-        };
-        if (a == "--run") run = true;
-        else if (a == "--blocks")
-            blocks = static_cast<std::uint32_t>(
-                cli::parseInt("--blocks", next(), 1, 1 << 20));
-        else if (a == "--threads")
-            threads = static_cast<std::uint32_t>(
-                cli::parseInt("--threads", next(), 1, 1024));
-        else if (a == "--buffer-kb")
-            buffer_kb = static_cast<std::uint64_t>(
-                cli::parseInt("--buffer-kb", next(), 1, 1 << 20));
-        else if (a == "--scheme") scheme = next();
-        else if (a == "--stats") dump_stats = true;
-        else fatal("unknown flag '%s'", a.c_str());
-    }
+    std::uint64_t bufferKb = 256;
+    config::RunParams params;
+
+    cli::ArgParser p("gexsim-asm",
+                     "assemble, inspect and run .kasm kernel files");
+    p.synopsis("gexsim-asm FILE.kasm [--run] [--blocks N] [--threads N] "
+               "[--buffer-kb N] [knob flags...]");
+    p.positional("FILE.kasm", "kernel source to assemble",
+                 [&](const std::string &v) { path = v; });
+    p.flag("--run", "run the kernel on the simulator after assembly",
+           [&] { run = true; });
+    p.option("--blocks", "N", "grid size in blocks (default 16)",
+             [&](const std::string &v) {
+                 blocks = static_cast<std::uint32_t>(
+                     cli::parseInt("--blocks", v, 1, 1 << 20));
+             },
+             "blocks");
+    p.option("--threads", "N", "threads per block (default 128)",
+             [&](const std::string &v) {
+                 threads = static_cast<std::uint32_t>(
+                     cli::parseInt("--threads", v, 1, 1024));
+             },
+             "threads");
+    p.option("--buffer-kb", "N",
+             "size of each synthesized parameter buffer (default 256)",
+             [&](const std::string &v) {
+                 bufferKb = static_cast<std::uint64_t>(
+                     cli::parseInt("--buffer-kb", v, 1, 1 << 20));
+             },
+             "buffer-kb");
+    p.flag("--stats", "dump all statistics after the run",
+           [&] { dumpStats = true; });
+    p.bindKnobs(&params);
+    p.parse(argc, argv);
+
+    if (path.empty())
+        fatal("a FILE.kasm argument is required (--help for usage)");
 
     std::ifstream in(path);
     if (!in)
@@ -79,35 +87,27 @@ toolMain(int argc, char **argv)
     k.grid = {blocks, 1, 1};
     k.block = {threads, 1, 1};
     Rng rng(7);
-    for (int p = 0; p < prog.numParams(); ++p) {
-        Addr base = as.allocate(buffer_kb * 1024);
+    for (int pi = 0; pi < prog.numParams(); ++pi) {
+        Addr base = as.allocate(bufferKb * 1024);
         k.params.push_back(base);
-        k.buffers.push_back({"param" + std::to_string(p), base,
-                             buffer_kb * 1024,
-                             p == 0 ? func::BufferKind::Input
-                                    : func::BufferKind::InOut});
-        for (std::uint64_t i = 0; i < buffer_kb * 128; ++i)
+        k.buffers.push_back({"param" + std::to_string(pi), base,
+                             bufferKb * 1024,
+                             pi == 0 ? func::BufferKind::Input
+                                     : func::BufferKind::InOut});
+        for (std::uint64_t i = 0; i < bufferKb * 128; ++i)
             mem.write64(base + i * 8, rng.below(1 << 16));
     }
 
     func::FunctionalSim fsim(mem);
     trace::KernelTrace tr = fsim.run(k);
 
-    gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
-    if (scheme == "wd-commit") cfg.scheme = gpu::Scheme::WarpDisableCommit;
-    else if (scheme == "wd-lastcheck")
-        cfg.scheme = gpu::Scheme::WarpDisableLastCheck;
-    else if (scheme == "replay-queue") cfg.scheme = gpu::Scheme::ReplayQueue;
-    else if (scheme == "operand-log") cfg.scheme = gpu::Scheme::OperandLog;
-    else if (scheme != "baseline") fatal("unknown scheme '%s'",
-                                         scheme.c_str());
-    gpu::Gpu g(cfg);
-    auto r = g.run(k, tr);
+    gpu::Gpu g(params.cfg);
+    auto r = g.run(k, tr, params.policy);
     std::printf("\n%u blocks x %u threads under %s: %llu cycles, ipc "
                 "%.2f\n",
-                blocks, threads, gpu::schemeName(cfg.scheme),
+                blocks, threads, gpu::schemeName(params.cfg.scheme),
                 static_cast<unsigned long long>(r.cycles), r.ipc());
-    if (dump_stats)
+    if (dumpStats)
         r.stats.dump(std::cout, "  ");
     return 0;
 }

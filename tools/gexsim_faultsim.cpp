@@ -6,11 +6,13 @@
  * fault-free reference run of the same (workload, scheme), and reports
  * the slowdown each fault regime imposes on each exception scheme —
  * plus the full resilience stat block per run in the JSON export
- * (schema: docs/FAULT_INJECTION.md).
+ * (schema: docs/FAULT_INJECTION.md) and the campaign's
+ * resolved_config manifest.
  *
  *   gexsim-faultsim --quick --json BENCH_faultsim.json
  *   gexsim-faultsim --workloads sgemm,lbm --schemes replay-queue \
  *                   --models bernoulli,burst --rates 0.005,0.02 --seeds 3
+ *   gexsim-faultsim --config campaign.json --jobs 4
  *
  * Determinism contract: with a fixed flag set, the campaign's JSON
  * `runs` array is bit-identical at any --jobs count (each grid point
@@ -21,7 +23,6 @@
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <chrono>
 #include <map>
 #include <string>
@@ -36,8 +37,6 @@ namespace {
 
 struct Options {
     std::string resumePath;
-    std::uint64_t watchdog = 2'000'000;
-    std::uint64_t maxCycles = 0;
     int retries = 1;
     std::vector<std::string> workloads;
     std::vector<std::string> schemes = {"baseline", "wd-commit",
@@ -48,162 +47,22 @@ struct Options {
     std::vector<double> rates = {0.002, 0.01};
     int seeds = 1;
     std::string suite = "parboil";
-    std::string policy = "resident";
     std::string jsonPath;
     int scale = 1;
-    int sms = 16;
-    std::uint32_t logKb = 16;
     int jobs = 1;
-    int smThreads = 1;
     bool quick = false;
+
+    bool workloadsSet = false, schemesSet = false, modelsSet = false;
+    bool ratesSet = false, seedsSet = false;
 };
-
-void
-usage()
-{
-    std::printf(
-        "gexsim-faultsim: deterministic fault-injection campaigns\n\n"
-        "  --suite S           parboil | halloc | all (default parboil)\n"
-        "  --workloads A,B,C   explicit workload list (overrides --suite)\n"
-        "  --schemes A,B,C     schemes to stress (default all five)\n"
-        "  --models A,B,C      bernoulli | burst | hot-page | first-touch\n"
-        "                      (default all four)\n"
-        "  --rates X,Y         base fault rates (default 0.002,0.01)\n"
-        "  --seeds N           seeds 1..N per point (default 1)\n"
-        "  --policy P          residency policy under the injector\n"
-        "                      (default resident)\n"
-        "  --scale N           workload scale factor (default 1)\n"
-        "  --sms N             number of SMs (default 16)\n"
-        "  --log-kb N          operand log size in KB (default 16)\n"
-        "  --jobs N            worker threads (default 1; 0 = all cores)\n"
-        "  --sm-threads N      SM-tick threads inside each run (default 1;\n"
-        "                      results identical at any value)\n"
-        "  --json FILE         write the full result set as JSON\n"
-        "  --resume FILE       campaign journal: record every finished\n"
-        "                      point there and skip points already in it\n"
-        "                      (--json output is then byte-identical to\n"
-        "                      an uninterrupted run at any --jobs)\n"
-        "  --retries N         retries for transiently failed points\n"
-        "                      (default 1)\n"
-        "  --watchdog N        forward-progress watchdog window in cycles\n"
-        "                      (default 2000000; 0 disables)\n"
-        "  --max-cycles N      per-point hard cycle budget (default 0 =\n"
-        "                      unlimited)\n"
-        "  --quick             CI smoke grid: one small workload, two\n"
-        "                      schemes, one model/rate/seed, 4 SMs\n");
-}
-
-std::vector<std::string>
-splitCsv(const std::string &s)
-{
-    std::vector<std::string> out;
-    std::size_t start = 0;
-    while (start <= s.size()) {
-        std::size_t comma = s.find(',', start);
-        if (comma == std::string::npos)
-            comma = s.size();
-        if (comma > start)
-            out.push_back(s.substr(start, comma - start));
-        start = comma + 1;
-    }
-    return out;
-}
 
 std::vector<double>
 splitCsvDouble(const char *flag, const std::string &s)
 {
     std::vector<double> out;
-    for (const auto &tok : splitCsv(s))
+    for (const auto &tok : cli::splitCsv(s))
         out.push_back(cli::parseRate(flag, tok));
     return out;
-}
-
-Options
-parseArgs(int argc, char **argv)
-{
-    Options o;
-    bool workloads_set = false, schemes_set = false, models_set = false;
-    bool rates_set = false, seeds_set = false, sms_set = false;
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
-                fatal("flag %s needs a value", a.c_str());
-            return argv[++i];
-        };
-        if (a == "--suite") o.suite = next();
-        else if (a == "--workloads") {
-            o.workloads = splitCsv(next());
-            workloads_set = true;
-        }
-        else if (a == "--schemes") {
-            o.schemes = splitCsv(next());
-            schemes_set = true;
-        }
-        else if (a == "--models") {
-            o.models = splitCsv(next());
-            models_set = true;
-        }
-        else if (a == "--rates") {
-            o.rates = splitCsvDouble("--rates", next());
-            rates_set = true;
-        }
-        else if (a == "--seeds") {
-            o.seeds = cli::parseIntFlag("--seeds", next(), 1, 1 << 20);
-            seeds_set = true;
-        }
-        else if (a == "--policy") o.policy = next();
-        else if (a == "--scale")
-            o.scale = cli::parseIntFlag("--scale", next(), 1, 1 << 20);
-        else if (a == "--sms") {
-            o.sms = cli::parseIntFlag("--sms", next(), 1, 4096);
-            sms_set = true;
-        }
-        else if (a == "--log-kb")
-            o.logKb = static_cast<std::uint32_t>(
-                cli::parseInt("--log-kb", next(), 1, 1 << 20));
-        else if (a == "--jobs")
-            o.jobs = cli::parseIntFlag("--jobs", next(), 0, 4096);
-        else if (a == "--sm-threads")
-            o.smThreads =
-                cli::parseIntFlag("--sm-threads", next(), 1, 1024);
-        else if (a == "--json") o.jsonPath = next();
-        else if (a == "--resume") o.resumePath = next();
-        else if (a == "--retries")
-            o.retries = cli::parseIntFlag("--retries", next(), 0, 100);
-        else if (a == "--watchdog")
-            o.watchdog = static_cast<std::uint64_t>(cli::parseInt(
-                "--watchdog", next(), 0, 0x7fffffffffffffffll));
-        else if (a == "--max-cycles")
-            o.maxCycles = static_cast<std::uint64_t>(cli::parseInt(
-                "--max-cycles", next(), 0, 0x7fffffffffffffffll));
-        else if (a == "--quick") o.quick = true;
-        else if (a == "--help" || a == "-h") {
-            usage();
-            std::exit(0);
-        } else {
-            usage();
-            fatal("unknown flag '%s'", a.c_str());
-        }
-    }
-    // --quick shrinks every axis the user did not pin explicitly.
-    if (o.quick) {
-        if (!workloads_set)
-            o.workloads = {"sgemm"};
-        if (!schemes_set)
-            o.schemes = {"baseline", "replay-queue"};
-        if (!models_set)
-            o.models = {"bernoulli"};
-        if (!rates_set)
-            o.rates = {0.01};
-        if (!seeds_set)
-            o.seeds = 1;
-        if (!sms_set)
-            o.sms = 4;
-    }
-    if (o.seeds < 1)
-        fatal("--seeds must be >= 1");
-    return o;
 }
 
 std::vector<std::string>
@@ -237,7 +96,96 @@ seriesLabel(inject::ModelKind m, double rate, std::uint64_t seed)
 int
 toolMain(int argc, char **argv)
 {
-    Options o = parseArgs(argc, argv);
+    Options o;
+    config::RunParams params;
+
+    cli::ArgParser p("gexsim-faultsim",
+                     "deterministic fault-injection campaigns");
+    p.synopsis("gexsim-faultsim [--config spec.json] [--quick] "
+               "[--models A,B --rates X,Y --seeds N] [knob flags...]");
+    p.option("--suite", "S", "parboil | halloc | all (default parboil)",
+             [&](const std::string &v) { o.suite = v; }, "suite");
+    p.option("--workloads", "A,B,C",
+             "explicit workload list (overrides --suite)",
+             [&](const std::string &v) {
+                 o.workloads = cli::splitCsv(v);
+                 o.workloadsSet = true;
+             },
+             "workloads");
+    p.option("--schemes", "A,B,C",
+             "schemes to stress (default all five)",
+             [&](const std::string &v) {
+                 o.schemes = cli::splitCsv(v);
+                 o.schemesSet = true;
+             },
+             "schemes");
+    p.option("--models", "A,B,C",
+             "bernoulli | burst | hot-page | first-touch "
+             "(default all four)",
+             [&](const std::string &v) {
+                 o.models = cli::splitCsv(v);
+                 o.modelsSet = true;
+             },
+             "models");
+    p.option("--rates", "X,Y", "base fault rates (default 0.002,0.01)",
+             [&](const std::string &v) {
+                 o.rates = splitCsvDouble("--rates", v);
+                 o.ratesSet = true;
+             },
+             "rates");
+    p.option("--seeds", "N", "seeds 1..N per point (default 1)",
+             [&](const std::string &v) {
+                 o.seeds = cli::parseIntFlag("--seeds", v, 1, 1 << 20);
+                 o.seedsSet = true;
+             },
+             "seeds");
+    p.option("--scale", "N", "workload scale factor (default 1)",
+             [&](const std::string &v) {
+                 o.scale = cli::parseIntFlag("--scale", v, 1, 1 << 20);
+             },
+             "scale");
+    p.option("--jobs", "N",
+             "worker threads (default 1; 0 = all cores)",
+             [&](const std::string &v) {
+                 o.jobs = cli::parseIntFlag("--jobs", v, 0, 4096);
+             });
+    p.option("--json", "FILE", "write the full result set as JSON",
+             [&](const std::string &v) { o.jsonPath = v; });
+    p.option("--resume", "FILE",
+             "campaign journal: record every finished point there and "
+             "skip points already in it (--json output is then "
+             "byte-identical to an uninterrupted run at any --jobs)",
+             [&](const std::string &v) { o.resumePath = v; });
+    p.option("--retries", "N",
+             "retries for transiently failed points (default 1)",
+             [&](const std::string &v) {
+                 o.retries = cli::parseIntFlag("--retries", v, 0, 100);
+             },
+             "retries");
+    p.flag("--quick",
+           "CI smoke grid: one small workload, two schemes, one "
+           "model/rate/seed, 4 SMs (axes you pinned are kept)",
+           [&] { o.quick = true; });
+    p.bindKnobs(&params);
+    p.parse(argc, argv);
+
+    // --quick shrinks every axis the user did not pin explicitly.
+    if (o.quick) {
+        if (!o.workloadsSet)
+            o.workloads = {"sgemm"};
+        if (!o.schemesSet)
+            o.schemes = {"baseline", "replay-queue"};
+        if (!o.modelsSet)
+            o.models = {"bernoulli"};
+        if (!o.ratesSet)
+            o.rates = {0.01};
+        if (!o.seedsSet)
+            o.seeds = 1;
+        if (params.cfg.numSms ==
+            config::RunParams::baseline().cfg.numSms)
+            params.cfg.numSms = 4;
+    }
+
     std::vector<std::string> names = resolveWorkloads(o);
     if (o.schemes.empty())
         fatal("--schemes resolved to an empty list");
@@ -246,16 +194,9 @@ toolMain(int argc, char **argv)
     if (o.rates.empty())
         fatal("--rates resolved to an empty list");
 
-    gpu::GpuConfig base = gpu::GpuConfig::baseline();
-    base.numSms = o.sms;
-    base.operandLogBytes = o.logKb * 1024;
     // Every campaign run — including the fault-free references — emits
     // the resilience block, so all rows share one stat schema.
-    base.resilienceStats = true;
-    base.smThreads = o.smThreads;
-    base.watchdogCycles = o.watchdog;
-    base.maxCycles = o.maxCycles;
-    vm::VmPolicy policy = vm::policyFromName(o.policy);
+    params.cfg.resilienceStats = true;
 
     std::vector<inject::ModelKind> models;
     for (const auto &m : o.models) {
@@ -284,9 +225,10 @@ toolMain(int argc, char **argv)
             harness::RunSpec ref;
             ref.workload = w;
             ref.scale = o.scale;
-            ref.cfg = base;
+            ref.cfg = params.cfg;
             ref.cfg.scheme = gpu::schemeFromName(s);
-            ref.policy = policy;
+            ref.policy = params.policy;
+            ref.policy.inject = inject::InjectConfig{};
             ref.group = w + "/" + s;
             ref.series = "ref";
             refIdx[{w, s}] = eng.add(std::move(ref));
@@ -297,9 +239,10 @@ toolMain(int argc, char **argv)
                         harness::RunSpec rs;
                         rs.workload = w;
                         rs.scale = o.scale;
-                        rs.cfg = base;
+                        rs.cfg = params.cfg;
                         rs.cfg.scheme = gpu::schemeFromName(s);
-                        rs.policy = policy;
+                        rs.policy = params.policy;
+                        rs.policy.inject = inject::InjectConfig{};
                         rs.policy.inject.model = m;
                         rs.policy.inject.rate = rate;
                         rs.policy.inject.seed =
@@ -390,6 +333,7 @@ toolMain(int argc, char **argv)
         rep.jobs = eng.jobs();
         rep.wallSeconds = wall;
         rep.deterministic = journal.active();
+        rep.baseConfig = params;
         rep.runs = std::move(runs);
         rep.geomeans = std::move(gms);
         rep.saveJson(o.jsonPath);

@@ -9,12 +9,17 @@
  *              --policy demand-paging --link pcie --block-switching \
  *              --stats
  *
+ * Every machine/policy knob comes from the knob registry
+ * (docs/CONFIGURATION.md); a JSON experiment spec does the same job
+ * declaratively:
+ *
+ *   gexsim-run --config spec.json --workload sgemm
+ *
  * Run with --help for the full flag list.
  */
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -28,130 +33,40 @@ namespace {
 struct Options {
     std::string workload = "sgemm";
     int scale = 1;
-    std::string scheme = "baseline";
-    std::string policy = "resident";
-    std::string link = "nvlink";
-    int sms = 16;
-    int smThreads = 1;
-    std::uint32_t logKb = 16;
-    bool blockSwitching = false;
-    bool idealSwitch = false;
-    bool arithExceptions = false;
     bool dumpStats = false;
     bool dumpCsv = false;
     bool listWorkloads = false;
-    std::uint64_t watchdog = 2'000'000;
-    std::uint64_t maxCycles = 0;
-    bool captureEvents = false;
-    std::string injectModel = "none";
-    double injectRate = 0.0;
-    std::uint64_t injectSeed = 1;
+    std::string jsonPath;
 };
-
-void
-usage()
-{
-    std::printf(
-        "gexsim-run: GPU timing simulation driver\n\n"
-        "  --workload NAME     built-in workload (see --list)\n"
-        "  --scale N           workload scale factor (default 1)\n"
-        "  --scheme S          baseline | wd-commit | wd-lastcheck |\n"
-        "                      replay-queue | operand-log\n"
-        "  --log-kb N          operand log size in KB (default 16)\n"
-        "  --policy P          resident | demand-paging |\n"
-        "                      output-faults[-local] | heap-faults[-local]\n"
-        "  --link L            nvlink | pcie\n"
-        "  --sms N             number of SMs (default 16)\n"
-        "  --sm-threads N      threads ticking the SMs of this run\n"
-        "                      (default 1; results identical at any value)\n"
-        "  --block-switching   enable UC1 block switching\n"
-        "  --ideal-switch      1-cycle context save/restore\n"
-        "  --arith-exceptions  enable the arithmetic-exception extension\n"
-        "  --inject-model M    none | bernoulli | burst | hot-page |\n"
-        "                      first-touch (default none)\n"
-        "  --inject-rate R     injected fault rate in [0,1] (default 0)\n"
-        "  --inject-seed N     injection campaign seed (default 1)\n"
-        "  --watchdog N        forward-progress watchdog window in cycles\n"
-        "                      (default 2000000; 0 disables)\n"
-        "  --max-cycles N      hard cycle budget (default 0 = unlimited)\n"
-        "  --capture-events    keep the last-K pipeline events for\n"
-        "                      watchdog diagnostics\n"
-        "  --stats             dump all statistics\n"
-        "  --csv               dump statistics as CSV\n"
-        "  --list              list built-in workloads\n");
-}
-
-vm::VmPolicy
-parsePolicy(const std::string &p)
-{
-    if (p == "resident") return vm::VmPolicy::allResident();
-    if (p == "demand-paging") return vm::VmPolicy::demandPaging();
-    if (p == "output-faults") return vm::VmPolicy::outputFaults(false);
-    if (p == "output-faults-local") return vm::VmPolicy::outputFaults(true);
-    if (p == "heap-faults") return vm::VmPolicy::heapFaults(false);
-    if (p == "heap-faults-local") return vm::VmPolicy::heapFaults(true);
-    fatal("unknown policy '%s'", p.c_str());
-}
-
-Options
-parseArgs(int argc, char **argv)
-{
-    Options o;
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
-                fatal("flag %s needs a value", a.c_str());
-            return argv[++i];
-        };
-        if (a == "--workload") o.workload = next();
-        else if (a == "--scale")
-            o.scale = cli::parseIntFlag("--scale", next(), 1, 1 << 20);
-        else if (a == "--scheme") o.scheme = next();
-        else if (a == "--log-kb")
-            o.logKb = static_cast<std::uint32_t>(
-                cli::parseInt("--log-kb", next(), 1, 1 << 20));
-        else if (a == "--policy") o.policy = next();
-        else if (a == "--link") o.link = next();
-        else if (a == "--sms")
-            o.sms = cli::parseIntFlag("--sms", next(), 1, 4096);
-        else if (a == "--sm-threads")
-            o.smThreads =
-                cli::parseIntFlag("--sm-threads", next(), 1, 1024);
-        else if (a == "--block-switching") o.blockSwitching = true;
-        else if (a == "--ideal-switch") o.idealSwitch = true;
-        else if (a == "--arith-exceptions") o.arithExceptions = true;
-        else if (a == "--inject-model") o.injectModel = next();
-        else if (a == "--inject-rate")
-            o.injectRate = cli::parseRate("--inject-rate", next());
-        else if (a == "--inject-seed")
-            o.injectSeed = static_cast<std::uint64_t>(cli::parseInt(
-                "--inject-seed", next(), 0, 0x7fffffffffffffffll));
-        else if (a == "--watchdog")
-            o.watchdog = static_cast<std::uint64_t>(cli::parseInt(
-                "--watchdog", next(), 0, 0x7fffffffffffffffll));
-        else if (a == "--max-cycles")
-            o.maxCycles = static_cast<std::uint64_t>(cli::parseInt(
-                "--max-cycles", next(), 0, 0x7fffffffffffffffll));
-        else if (a == "--capture-events") o.captureEvents = true;
-        else if (a == "--stats") o.dumpStats = true;
-        else if (a == "--csv") o.dumpCsv = true;
-        else if (a == "--list") o.listWorkloads = true;
-        else if (a == "--help" || a == "-h") {
-            usage();
-            std::exit(0);
-        } else {
-            usage();
-            fatal("unknown flag '%s'", a.c_str());
-        }
-    }
-    return o;
-}
 
 int
 toolMain(int argc, char **argv)
 {
-    Options o = parseArgs(argc, argv);
+    Options o;
+    config::RunParams params;
+
+    cli::ArgParser p("gexsim-run", "GPU timing simulation driver");
+    p.synopsis("gexsim-run [--config spec.json] [--workload NAME] "
+               "[knob flags...]");
+    p.option("--workload", "NAME", "built-in workload (see --list)",
+             [&](const std::string &v) { o.workload = v; }, "workload");
+    p.option("--scale", "N", "workload scale factor (default 1)",
+             [&](const std::string &v) {
+                 o.scale = cli::parseIntFlag("--scale", v, 1, 1 << 20);
+             },
+             "scale");
+    p.option("--json", "FILE",
+             "write the run result (with its resolved_config "
+             "manifest) as JSON",
+             [&](const std::string &v) { o.jsonPath = v; });
+    p.flag("--stats", "dump all statistics",
+           [&] { o.dumpStats = true; });
+    p.flag("--csv", "dump statistics as CSV", [&] { o.dumpCsv = true; });
+    p.flag("--list", "list built-in workloads",
+           [&] { o.listWorkloads = true; });
+    p.bindKnobs(&params);
+    p.parse(argc, argv);
+
     if (o.listWorkloads) {
         for (const auto &n : workloads::allNames())
             std::printf("%s\n", n.c_str());
@@ -159,44 +74,24 @@ toolMain(int argc, char **argv)
     }
     if (!workloads::exists(o.workload))
         fatal("unknown workload '%s' (try --list)", o.workload.c_str());
-    if (o.link != "nvlink" && o.link != "pcie")
-        fatal("unknown link '%s' (expected nvlink | pcie)",
-              o.link.c_str());
 
     func::GlobalMemory mem;
     auto w = workloads::make(o.workload, mem, o.scale);
     func::FunctionalSim fsim(mem);
     trace::KernelTrace tr = fsim.run(w.kernel);
 
-    gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
-    cfg.scheme = gpu::schemeFromName(o.scheme);
-    cfg.operandLogBytes = o.logKb * 1024;
-    cfg.numSms = o.sms;
-    cfg.smThreads = o.smThreads;
-    cfg.hostLink = o.link == "pcie" ? vm::HostLinkConfig::pcie()
-                                    : vm::HostLinkConfig::nvlink();
-    cfg.blockSwitching = o.blockSwitching;
-    cfg.idealContextSwitch = o.idealSwitch;
-    cfg.arithExceptions = o.arithExceptions;
-    cfg.watchdogCycles = o.watchdog;
-    cfg.maxCycles = o.maxCycles;
-    cfg.watchdogCaptureEvents = o.captureEvents;
-
-    vm::VmPolicy policy = parsePolicy(o.policy);
-    policy.inject.model = inject::modelFromName(o.injectModel);
-    policy.inject.rate = o.injectRate;
-    policy.inject.seed = o.injectSeed;
-
-    gpu::Gpu g(cfg);
-    auto r = g.run(w.kernel, tr, policy);
+    gpu::Gpu g(params.cfg);
+    auto r = g.run(w.kernel, tr, params.policy);
 
     std::printf("workload      %s (scale %d)\n", o.workload.c_str(),
                 o.scale);
     std::printf("blocks        %u (%d resident per SM)\n",
-                w.kernel.numBlocks(), gpu::blocksPerSm(cfg, w.kernel));
-    std::printf("scheme        %s\n", gpu::schemeName(cfg.scheme));
-    std::printf("policy        %s over %s\n", o.policy.c_str(),
-                cfg.hostLink.name.c_str());
+                w.kernel.numBlocks(),
+                gpu::blocksPerSm(params.cfg, w.kernel));
+    std::printf("scheme        %s\n", gpu::schemeName(params.cfg.scheme));
+    std::printf("policy        %s over %s\n",
+                vm::policyName(params.policy),
+                params.cfg.hostLink.name.c_str());
     std::printf("cycles        %llu\n",
                 static_cast<unsigned long long>(r.cycles));
     std::printf("instructions  %llu\n",
@@ -212,6 +107,25 @@ toolMain(int argc, char **argv)
     if (o.dumpCsv) {
         std::printf("\n");
         r.stats.dumpCsv(std::cout);
+    }
+    if (!o.jsonPath.empty()) {
+        std::ofstream os(o.jsonPath);
+        if (!os)
+            fatal("cannot open '%s' for writing", o.jsonPath.c_str());
+        json::Writer jw(os);
+        jw.beginObject();
+        jw.key("name").value("gexsim-run");
+        jw.key("workload").value(o.workload);
+        jw.key("scale").value(o.scale);
+        jw.key("resolved_config");
+        config::KnobRegistry::instance().writeManifest(jw, params);
+        jw.key("cycles").value(static_cast<std::uint64_t>(r.cycles));
+        jw.key("instructions").value(r.instructions);
+        jw.key("ipc").value(r.ipc());
+        jw.key("stats");
+        r.stats.writeJson(jw);
+        jw.endObject();
+        os << "\n";
     }
     return 0;
 }

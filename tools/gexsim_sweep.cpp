@@ -3,17 +3,18 @@
  * gexsim-sweep: run a (workload × scheme) grid on the parallel sweep
  * engine, print a normalized-performance table, and optionally export
  * the full result set — per-run stats included — as a BENCH_*.json
- * document (schema: docs/METRICS.md).
+ * document (schema: docs/METRICS.md) carrying the campaign's
+ * resolved_config manifest.
  *
  *   gexsim-sweep --suite parboil --jobs 4 --json BENCH_sweep.json
  *   gexsim-sweep --workloads sgemm,lbm --schemes baseline,replay-queue \
  *                --policy demand-paging --link pcie
+ *   gexsim-sweep --config spec.json --jobs 4
  *
  * Run with --help for the full flag list.
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <chrono>
 #include <string>
 #include <vector>
@@ -27,124 +28,17 @@ namespace {
 
 struct Options {
     std::string resumePath;
-    std::uint64_t watchdog = 2'000'000;
-    std::uint64_t maxCycles = 0;
     int retries = 1;
     std::vector<std::string> workloads;
     std::vector<std::string> schemes = {"baseline", "wd-commit",
                                         "wd-lastcheck", "replay-queue",
                                         "operand-log"};
     std::string suite = "parboil";
-    std::string policy = "resident";
-    std::string link = "nvlink";
     std::string jsonPath;
     int scale = 1;
-    int sms = 16;
-    std::uint32_t logKb = 16;
     int jobs = 1;
-    int smThreads = 1;
-    bool blockSwitching = false;
     bool listWorkloads = false;
 };
-
-void
-usage()
-{
-    std::printf(
-        "gexsim-sweep: parallel (workload x scheme) sweep driver\n\n"
-        "  --suite S           parboil | halloc | all (default parboil)\n"
-        "  --workloads A,B,C   explicit workload list (overrides --suite)\n"
-        "  --schemes A,B,C     schemes to sweep (default all five)\n"
-        "  --policy P          resident | demand-paging |\n"
-        "                      output-faults[-local] | heap-faults[-local]\n"
-        "  --link L            nvlink | pcie\n"
-        "  --scale N           workload scale factor (default 1)\n"
-        "  --sms N             number of SMs (default 16)\n"
-        "  --log-kb N          operand log size in KB (default 16)\n"
-        "  --block-switching   enable UC1 block switching\n"
-        "  --jobs N            worker threads (default 1; 0 = all cores)\n"
-        "  --sm-threads N      SM-tick threads inside each run (default 1;\n"
-        "                      results identical at any value)\n"
-        "  --json FILE         write the full result set as JSON\n"
-        "  --resume FILE       campaign journal: record every finished\n"
-        "                      point there and skip points already in it\n"
-        "                      (--json output is then byte-identical to\n"
-        "                      an uninterrupted run at any --jobs)\n"
-        "  --retries N         retries for transiently failed points\n"
-        "                      (default 1)\n"
-        "  --watchdog N        forward-progress watchdog window in cycles\n"
-        "                      (default 2000000; 0 disables)\n"
-        "  --max-cycles N      per-point hard cycle budget (default 0 =\n"
-        "                      unlimited)\n"
-        "  --list              list built-in workloads\n");
-}
-
-std::vector<std::string>
-splitCsv(const std::string &s)
-{
-    std::vector<std::string> out;
-    std::size_t start = 0;
-    while (start <= s.size()) {
-        std::size_t comma = s.find(',', start);
-        if (comma == std::string::npos)
-            comma = s.size();
-        if (comma > start)
-            out.push_back(s.substr(start, comma - start));
-        start = comma + 1;
-    }
-    return out;
-}
-
-Options
-parseArgs(int argc, char **argv)
-{
-    Options o;
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
-                fatal("flag %s needs a value", a.c_str());
-            return argv[++i];
-        };
-        if (a == "--suite") o.suite = next();
-        else if (a == "--workloads") o.workloads = splitCsv(next());
-        else if (a == "--schemes") o.schemes = splitCsv(next());
-        else if (a == "--policy") o.policy = next();
-        else if (a == "--link") o.link = next();
-        else if (a == "--scale")
-            o.scale = cli::parseIntFlag("--scale", next(), 1, 1 << 20);
-        else if (a == "--sms")
-            o.sms = cli::parseIntFlag("--sms", next(), 1, 4096);
-        else if (a == "--log-kb")
-            o.logKb = static_cast<std::uint32_t>(
-                cli::parseInt("--log-kb", next(), 1, 1 << 20));
-        else if (a == "--block-switching") o.blockSwitching = true;
-        else if (a == "--jobs")
-            o.jobs = cli::parseIntFlag("--jobs", next(), 0, 4096);
-        else if (a == "--sm-threads")
-            o.smThreads =
-                cli::parseIntFlag("--sm-threads", next(), 1, 1024);
-        else if (a == "--json") o.jsonPath = next();
-        else if (a == "--resume") o.resumePath = next();
-        else if (a == "--retries")
-            o.retries = cli::parseIntFlag("--retries", next(), 0, 100);
-        else if (a == "--watchdog")
-            o.watchdog = static_cast<std::uint64_t>(cli::parseInt(
-                "--watchdog", next(), 0, 0x7fffffffffffffffll));
-        else if (a == "--max-cycles")
-            o.maxCycles = static_cast<std::uint64_t>(cli::parseInt(
-                "--max-cycles", next(), 0, 0x7fffffffffffffffll));
-        else if (a == "--list") o.listWorkloads = true;
-        else if (a == "--help" || a == "-h") {
-            usage();
-            std::exit(0);
-        } else {
-            usage();
-            fatal("unknown flag '%s'", a.c_str());
-        }
-    }
-    return o;
-}
 
 std::vector<std::string>
 resolveWorkloads(const Options &o)
@@ -168,7 +62,51 @@ resolveWorkloads(const Options &o)
 int
 toolMain(int argc, char **argv)
 {
-    Options o = parseArgs(argc, argv);
+    Options o;
+    config::RunParams params;
+
+    cli::ArgParser p("gexsim-sweep",
+                     "parallel (workload x scheme) sweep driver");
+    p.synopsis("gexsim-sweep [--config spec.json] [--suite S | "
+               "--workloads A,B] [--schemes A,B] [knob flags...]");
+    p.option("--suite", "S", "parboil | halloc | all (default parboil)",
+             [&](const std::string &v) { o.suite = v; }, "suite");
+    p.option("--workloads", "A,B,C",
+             "explicit workload list (overrides --suite)",
+             [&](const std::string &v) { o.workloads = cli::splitCsv(v); },
+             "workloads");
+    p.option("--schemes", "A,B,C",
+             "schemes to sweep (default all five)",
+             [&](const std::string &v) { o.schemes = cli::splitCsv(v); },
+             "schemes");
+    p.option("--scale", "N", "workload scale factor (default 1)",
+             [&](const std::string &v) {
+                 o.scale = cli::parseIntFlag("--scale", v, 1, 1 << 20);
+             },
+             "scale");
+    p.option("--jobs", "N",
+             "worker threads (default 1; 0 = all cores)",
+             [&](const std::string &v) {
+                 o.jobs = cli::parseIntFlag("--jobs", v, 0, 4096);
+             });
+    p.option("--json", "FILE", "write the full result set as JSON",
+             [&](const std::string &v) { o.jsonPath = v; });
+    p.option("--resume", "FILE",
+             "campaign journal: record every finished point there and "
+             "skip points already in it (--json output is then "
+             "byte-identical to an uninterrupted run at any --jobs)",
+             [&](const std::string &v) { o.resumePath = v; });
+    p.option("--retries", "N",
+             "retries for transiently failed points (default 1)",
+             [&](const std::string &v) {
+                 o.retries = cli::parseIntFlag("--retries", v, 0, 100);
+             },
+             "retries");
+    p.flag("--list", "list built-in workloads",
+           [&] { o.listWorkloads = true; });
+    p.bindKnobs(&params);
+    p.parse(argc, argv);
+
     if (o.listWorkloads) {
         for (const auto &n : workloads::allNames())
             std::printf("%s\n", n.c_str());
@@ -178,20 +116,6 @@ toolMain(int argc, char **argv)
     std::vector<std::string> names = resolveWorkloads(o);
     if (o.schemes.empty())
         fatal("--schemes resolved to an empty list");
-    if (o.link != "nvlink" && o.link != "pcie")
-        fatal("unknown link '%s' (expected nvlink | pcie)",
-              o.link.c_str());
-
-    gpu::GpuConfig base = gpu::GpuConfig::baseline();
-    base.numSms = o.sms;
-    base.operandLogBytes = o.logKb * 1024;
-    base.hostLink = o.link == "pcie" ? vm::HostLinkConfig::pcie()
-                                     : vm::HostLinkConfig::nvlink();
-    base.blockSwitching = o.blockSwitching;
-    base.smThreads = o.smThreads;
-    base.watchdogCycles = o.watchdog;
-    base.maxCycles = o.maxCycles;
-    vm::VmPolicy policy = vm::policyFromName(o.policy);
 
     harness::SweepEngine eng(o.jobs);
     eng.setMaxRetries(o.retries);
@@ -208,9 +132,9 @@ toolMain(int argc, char **argv)
             harness::RunSpec rs;
             rs.workload = w;
             rs.scale = o.scale;
-            rs.cfg = base;
+            rs.cfg = params.cfg;
             rs.cfg.scheme = gpu::schemeFromName(s);
-            rs.policy = policy;
+            rs.policy = params.policy;
             eng.add(std::move(rs));
         }
     }
@@ -218,7 +142,7 @@ toolMain(int argc, char **argv)
     std::printf("sweep: %zu workloads x %zu schemes = %zu runs, "
                 "%d jobs, policy %s\n",
                 names.size(), o.schemes.size(), eng.size(), eng.jobs(),
-                o.policy.c_str());
+                vm::policyName(params.policy));
 
     auto t0 = std::chrono::steady_clock::now();
     std::vector<harness::RunRecord> runs = eng.run();
@@ -276,6 +200,7 @@ toolMain(int argc, char **argv)
         rep.jobs = eng.jobs();
         rep.wallSeconds = wall;
         rep.deterministic = journal.active();
+        rep.baseConfig = params;
         rep.runs = std::move(runs);
         rep.geomeans = std::move(gms);
         rep.saveJson(o.jsonPath);

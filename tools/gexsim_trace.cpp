@@ -11,14 +11,15 @@
  *   gexsim-trace --workload sgemm --scheme wd-lastcheck \
  *                --policy resident --trace-out sgemm.json --view 40
  *
- * The default run is a small vector-add under the replay-queue scheme
- * with demand paging, so the trace shows squash + replay at the page
- * faults. Load the output at https://ui.perfetto.dev or
- * chrome://tracing.
+ * The machine knobs come from the knob registry, but with
+ * trace-friendly defaults: a small vector-add under the replay-queue
+ * scheme with demand paging on a single SM, so the default trace shows
+ * squash + replay at the page faults. Load the output at
+ * https://ui.perfetto.dev or chrome://tracing. Run with --help for the
+ * full flag list.
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -29,82 +30,6 @@
 using namespace gex;
 
 namespace {
-
-struct Options {
-    std::string traceOut;
-    std::string workload = "vecadd"; ///< built-in default, see makeVecadd
-    int scale = 1;
-    std::string scheme = "replay-queue";
-    std::string policy = "demand-paging";
-    int sms = 1;
-    int view = 0; ///< also print the last N events as a table
-};
-
-void
-usage()
-{
-    std::printf(
-        "gexsim-trace: pipeline event trace exporter (Chrome trace "
-        "JSON)\n\n"
-        "  --trace-out FILE    output file (required)\n"
-        "  --workload NAME     built-in workload, or 'vecadd' (default:\n"
-        "                      a small vector add built in-process)\n"
-        "  --scale N           workload scale factor (default 1)\n"
-        "  --scheme S          exception scheme (default replay-queue)\n"
-        "  --policy P          resident | demand-paging |\n"
-        "                      output-faults[-local] | heap-faults[-local]"
-        "\n"
-        "  --sms N             number of SMs (default 1: small traces)\n"
-        "  --view N            also print the last N pipeline events\n");
-}
-
-vm::VmPolicy
-parsePolicy(const std::string &p)
-{
-    if (p == "resident") return vm::VmPolicy::allResident();
-    if (p == "demand-paging") return vm::VmPolicy::demandPaging();
-    if (p == "output-faults") return vm::VmPolicy::outputFaults(false);
-    if (p == "output-faults-local") return vm::VmPolicy::outputFaults(true);
-    if (p == "heap-faults") return vm::VmPolicy::heapFaults(false);
-    if (p == "heap-faults-local") return vm::VmPolicy::heapFaults(true);
-    fatal("unknown policy '%s'", p.c_str());
-}
-
-Options
-parseArgs(int argc, char **argv)
-{
-    Options o;
-    for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
-        auto next = [&]() -> std::string {
-            if (i + 1 >= argc)
-                fatal("flag %s needs a value", a.c_str());
-            return argv[++i];
-        };
-        if (a == "--trace-out") o.traceOut = next();
-        else if (a == "--workload") o.workload = next();
-        else if (a == "--scale")
-            o.scale = cli::parseIntFlag("--scale", next(), 1, 1 << 20);
-        else if (a == "--scheme") o.scheme = next();
-        else if (a == "--policy") o.policy = next();
-        else if (a == "--sms")
-            o.sms = cli::parseIntFlag("--sms", next(), 1, 4096);
-        else if (a == "--view")
-            o.view = cli::parseIntFlag("--view", next(), 0, 1 << 20);
-        else if (a == "--help" || a == "-h") {
-            usage();
-            std::exit(0);
-        } else {
-            usage();
-            fatal("unknown flag '%s'", a.c_str());
-        }
-    }
-    if (o.traceOut.empty()) {
-        usage();
-        fatal("--trace-out is required");
-    }
-    return o;
-}
 
 /** Two-block vector add whose inputs span several pages. */
 func::Kernel
@@ -168,55 +93,89 @@ class TeeObserver : public obs::PipelineObserver
 int
 toolMain(int argc, char **argv)
 {
-    Options o = parseArgs(argc, argv);
+    std::string traceOut;
+    std::string workload = "vecadd"; ///< in-process default, makeVecadd
+    int scale = 1;
+    int view = 0; ///< also print the last N events as a table
+
+    // Trace-friendly knob defaults, applied before parse() so any
+    // --config spec or knob flag overrides them: replay-queue over
+    // demand paging shows squash/replay activity, one SM keeps the
+    // trace small.
+    config::RunParams params;
+    params.cfg.scheme = gpu::Scheme::ReplayQueue;
+    params.cfg.numSms = 1;
+    params.policy = vm::VmPolicy::demandPaging();
+
+    cli::ArgParser p("gexsim-trace",
+                     "pipeline event trace exporter (Chrome trace JSON)");
+    p.synopsis("gexsim-trace --trace-out FILE [--workload NAME] "
+               "[--view N] [knob flags...]");
+    p.option("--trace-out", "FILE", "output file (required)",
+             [&](const std::string &v) { traceOut = v; });
+    p.option("--workload", "NAME",
+             "built-in workload, or 'vecadd' (default: a small vector "
+             "add built in-process)",
+             [&](const std::string &v) { workload = v; }, "workload");
+    p.option("--scale", "N", "workload scale factor (default 1)",
+             [&](const std::string &v) {
+                 scale = cli::parseIntFlag("--scale", v, 1, 1 << 20);
+             },
+             "scale");
+    p.option("--view", "N", "also print the last N pipeline events",
+             [&](const std::string &v) {
+                 view = cli::parseIntFlag("--view", v, 0, 1 << 20);
+             });
+    p.bindKnobs(&params);
+    p.parse(argc, argv);
+
+    if (traceOut.empty())
+        fatal("--trace-out is required (--help for usage)");
 
     func::GlobalMemory mem;
     vm::AddressSpace as;
     func::Kernel kernel;
-    if (o.workload == "vecadd") {
-        kernel = makeVecadd(mem, as, o.scale);
-    } else if (workloads::exists(o.workload)) {
-        kernel = workloads::make(o.workload, mem, o.scale).kernel;
+    if (workload == "vecadd") {
+        kernel = makeVecadd(mem, as, scale);
+    } else if (workloads::exists(workload)) {
+        kernel = workloads::make(workload, mem, scale).kernel;
     } else {
-        fatal("unknown workload '%s'", o.workload.c_str());
+        fatal("unknown workload '%s'", workload.c_str());
     }
     func::FunctionalSim fsim(mem);
     trace::KernelTrace tr = fsim.run(kernel);
 
-    gpu::GpuConfig cfg = gpu::GpuConfig::baseline();
-    cfg.scheme = gpu::schemeFromName(o.scheme);
-    cfg.numSms = o.sms;
-
     obs::ChromeTraceWriter trace_writer;
     trace_writer.setProgram(&kernel.program);
-    obs::PipelineView view(static_cast<std::size_t>(
-        o.view > 0 ? o.view : 1));
-    view.setProgram(&kernel.program);
-    TeeObserver tee(trace_writer, view);
+    obs::PipelineView pview(
+        static_cast<std::size_t>(view > 0 ? view : 1));
+    pview.setProgram(&kernel.program);
+    TeeObserver tee(trace_writer, pview);
 
-    gpu::Gpu g(cfg);
-    g.setObserver(o.view > 0
+    gpu::Gpu g(params.cfg);
+    g.setObserver(view > 0
                       ? static_cast<obs::PipelineObserver *>(&tee)
                       : &trace_writer);
-    auto r = g.run(kernel, tr, parsePolicy(o.policy));
+    auto r = g.run(kernel, tr, params.policy);
 
-    std::ofstream out(o.traceOut);
+    std::ofstream out(traceOut);
     if (!out)
-        fatal("cannot open '%s' for writing", o.traceOut.c_str());
+        fatal("cannot open '%s' for writing", traceOut.c_str());
     trace_writer.write(out);
 
     std::printf("workload  %s (scale %d), scheme %s, policy %s\n",
-                o.workload.c_str(), o.scale, gpu::schemeName(cfg.scheme),
-                o.policy.c_str());
+                workload.c_str(), scale,
+                gpu::schemeName(params.cfg.scheme),
+                vm::policyName(params.policy));
     std::printf("cycles    %llu, instructions %llu, faults %.0f\n",
                 static_cast<unsigned long long>(r.cycles),
                 static_cast<unsigned long long>(r.instructions),
                 r.stats.get("mmu.faults"));
     std::printf("trace     %zu events -> %s\n", trace_writer.eventCount(),
-                o.traceOut.c_str());
-    if (o.view > 0) {
+                traceOut.c_str());
+    if (view > 0) {
         std::printf("\n");
-        view.render(std::cout);
+        pview.render(std::cout);
     }
     return 0;
 }
