@@ -17,6 +17,10 @@
  *   LivelockError        the forward-progress watchdog tripped: the
  *                        machine keeps ticking but nothing commits
  *   CycleBudgetExceeded  the run crossed GpuConfig::maxCycles
+ *   InvariantError       a runtime self-check tripped: the invariant
+ *                        sanitizer or architectural oracle (--check,
+ *                        docs/VALIDATION.md) caught the simulator
+ *                        violating a modeled-hardware invariant
  *
  * panic() / GEX_ASSERT remain aborting: they flag simulator bugs, not
  * survivable events. fatal() (common/log.hpp) throws ConfigError.
@@ -127,6 +131,24 @@ class CycleBudgetExceeded : public GexError
                                  ErrorContext ctx = {},
                                  std::string diagnostics = {})
         : GexError("CycleBudgetExceeded", message, std::move(ctx),
+                   std::move(diagnostics))
+    {}
+};
+
+/**
+ * A runtime self-check tripped: the invariant sanitizer or the
+ * architectural oracle (src/check, enabled by --check) detected the
+ * simulator violating an invariant the modeled hardware guarantees.
+ * Unlike panic(), this is survivable — fuzz campaigns catch it,
+ * shrink the failing case and keep going (docs/VALIDATION.md).
+ */
+class InvariantError : public GexError
+{
+  public:
+    explicit InvariantError(const std::string &message,
+                            ErrorContext ctx = {},
+                            std::string diagnostics = {})
+        : GexError("InvariantError", message, std::move(ctx),
                    std::move(diagnostics))
     {}
 };

@@ -40,6 +40,7 @@ enum ExitCode : int {
     ExitDeadlock = 4, ///< DeadlockError
     ExitLivelock = 5, ///< LivelockError (watchdog)
     ExitBudget = 6,   ///< CycleBudgetExceeded (--max-cycles)
+    ExitInvariant = 7, ///< InvariantError (--check self-checks)
 };
 
 inline int
@@ -50,6 +51,7 @@ exitCodeFor(const GexError &e)
     if (dynamic_cast<const DeadlockError *>(&e)) return ExitDeadlock;
     if (dynamic_cast<const LivelockError *>(&e)) return ExitLivelock;
     if (dynamic_cast<const CycleBudgetExceeded *>(&e)) return ExitBudget;
+    if (dynamic_cast<const InvariantError *>(&e)) return ExitInvariant;
     return ExitInternal;
 }
 

@@ -355,13 +355,14 @@ void
 KnobRegistry::boolean(std::string name, std::string doc,
                       std::function<bool(const RunParams &)> get,
                       std::function<void(RunParams &, bool)> set,
-                      std::string flag)
+                      std::string flag, bool execOnly)
 {
     Knob k;
     k.name = std::move(name);
     k.flag = std::move(flag);
     k.type = KnobType::Bool;
     k.doc = std::move(doc);
+    k.execOnly = execOnly;
     k.get = [get = std::move(get)](const RunParams &p) {
         return KnobValue::ofBool(get(p));
     };
@@ -376,7 +377,7 @@ KnobRegistry::enumeration(
     std::string name, std::string doc, std::vector<std::string> values,
     std::function<std::string(const RunParams &)> get,
     std::function<void(RunParams &, const std::string &)> set,
-    std::string flag, bool preset)
+    std::string flag, bool preset, bool execOnly)
 {
     Knob k;
     k.name = std::move(name);
@@ -385,6 +386,7 @@ KnobRegistry::enumeration(
     k.doc = std::move(doc);
     k.enumValues = std::move(values);
     k.preset = preset;
+    k.execOnly = execOnly;
     k.get = [get = std::move(get)](const RunParams &p) {
         return KnobValue::ofEnum(get(p));
     };
@@ -533,6 +535,19 @@ KnobRegistry::KnobRegistry()
             kNoLimit, GETSET_INT(cfg.maxCycles), "--max-cycles");
     boolean("resilience-stats", "emit the resil.* stat block on "
             "fault-free runs too", GETSET_BOOL(cfg.resilienceStats));
+    boolean("check", "run the invariant sanitizer and self-checks "
+            "(docs/VALIDATION.md); results are never changed",
+            GETSET_BOOL(cfg.checkInvariants), "--check",
+            /*execOnly=*/true);
+    enumeration("check.violate", "test-only: arm one deliberate "
+                "invariant violation under --check",
+                {"none", "rq-hold", "ol-leak", "event-seq",
+                 "double-commit"},
+                [](const RunParams &p) { return p.cfg.checkViolation; },
+                [](RunParams &p, const std::string &v) {
+                    p.cfg.checkViolation = v;
+                },
+                "--violate", /*preset=*/false, /*execOnly=*/true);
 
     // ---- Per-SM microarchitecture (paper Table 1, SM section).
     integer("sm.max-blocks", "resident thread blocks per SM", 1, 64,

@@ -233,13 +233,14 @@ class KnobRegistry
     void boolean(std::string name, std::string doc,
                  std::function<bool(const RunParams &)> get,
                  std::function<void(RunParams &, bool)> set,
-                 std::string flag = {});
+                 std::string flag = {}, bool execOnly = false);
     void enumeration(std::string name, std::string doc,
                      std::vector<std::string> values,
                      std::function<std::string(const RunParams &)> get,
                      std::function<void(RunParams &, const std::string &)>
                          set,
-                     std::string flag = {}, bool preset = false);
+                     std::string flag = {}, bool preset = false,
+                     bool execOnly = false);
     void finish(Knob k);
 
     std::vector<Knob> knobs_;

@@ -1,5 +1,6 @@
 #include "func/memory.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/log.hpp"
@@ -67,6 +68,33 @@ GlobalMemory::setHeap(Addr base, std::uint64_t bytes)
     heapBytes_ = bytes;
     heapUsed_ = 16; // first 16 bytes hold the cursor itself
     write64(base, base + heapUsed_);
+}
+
+std::uint64_t
+GlobalMemory::digest() const
+{
+    std::vector<Addr> nums;
+    nums.reserve(pages_.size());
+    for (const auto &kv : pages_)
+        nums.push_back(kv.first);
+    std::sort(nums.begin(), nums.end());
+    std::uint64_t h = 14695981039346656037ull;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    for (Addr n : nums) {
+        mix(n);
+        const Page &p = pages_.at(n);
+        for (std::uint8_t b : p) {
+            h ^= b;
+            h *= 1099511628211ull;
+        }
+    }
+    mix(heapUsed_);
+    return h;
 }
 
 Addr

@@ -67,6 +67,14 @@ class GlobalMemory
     /** Pages ever touched (reads or writes). */
     std::size_t touchedPages() const { return pages_.size(); }
 
+    /**
+     * FNV-1a digest of the full memory image: every touched page's
+     * number and bytes, visited in ascending page order so the hash is
+     * independent of touch order. The architectural-oracle fingerprint
+     * of a final memory state (src/check, docs/VALIDATION.md).
+     */
+    std::uint64_t digest() const;
+
   private:
     using Page = std::vector<std::uint8_t>;
     Page &page(Addr pageNum);

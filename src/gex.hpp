@@ -20,6 +20,9 @@
 #ifndef GEX_GEX_HPP
 #define GEX_GEX_HPP
 
+#include "check/fuzz.hpp"
+#include "check/oracle.hpp"
+#include "check/sanitizer.hpp"
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/log.hpp"

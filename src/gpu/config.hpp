@@ -115,7 +115,8 @@ struct GpuConfig {
     /**
      * Worker threads ticking the SM-local pipeline phase of one run
      * (gpu::Gpu::run's phased tick engine). 1 (the default) keeps the
-     * fully serial driver; values above numSms are clamped. Results
+     * fully serial driver; values above numSms or the host's core
+     * count are clamped (extra threads are pure overhead). Results
      * are bit-identical at every setting: shared-resource accesses
      * (L2, DRAM, MMU, TB scheduler, observer) are drained serially in
      * ascending SM order regardless of the thread count. Composes
@@ -198,6 +199,24 @@ struct GpuConfig {
      * enough to evade the watchdog.
      */
     Cycle maxCycles = 0;
+
+    /**
+     * Run the invariant sanitizer and drain-time self-checks
+     * (src/check, docs/VALIDATION.md): per-scheme protocol checkers,
+     * event-heap ordering checks and end-of-run leak detection. A
+     * violation raises InvariantError (exit code 7). Exec-only: off
+     * (the default) leaves results and digests bit-identical and the
+     * hot path untouched; on changes only whether violations are
+     * detected, never the simulated outcome.
+     */
+    bool checkInvariants = false;
+    /**
+     * Test-only: arm one deliberate invariant violation so the
+     * sanitizer's detection path itself can be exercised end to end
+     * ("none", "rq-hold", "ol-leak", "event-seq", "double-commit").
+     * Only honored when checkInvariants is on; docs/VALIDATION.md.
+     */
+    std::string checkViolation = "none";
 
     /**
      * Extension (paper sections 3.1/3.2): make arithmetic exceptions

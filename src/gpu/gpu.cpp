@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <sstream>
+#include <thread>
 
+#include "check/sanitizer.hpp"
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/log.hpp"
@@ -76,11 +78,22 @@ Gpu::reset(const func::Kernel &kernel, const trace::KernelTrace &trace,
             observer_);
         eff = lastK_.get();
     }
+    // Invariant sanitizer (--check): heads the chain so it sees the
+    // same stream the ring and the user observer do, and forwards
+    // every event before checking it.
+    san_.reset();
+    if (cfg_.checkInvariants) {
+        san_ = std::make_unique<check::SimSanitizer>(cfg_, eff,
+                                                     lastK_.get());
+        san_->hooks.arm(cfg_.checkViolation);
+        eff = san_.get();
+    }
     sms_.clear();
     sms_.reserve(static_cast<std::size_t>(cfg_.numSms));
     for (int i = 0; i < cfg_.numSms; ++i) {
         sms_.push_back(std::make_unique<sm::Sm>(i, cfg_, *this, *sched_));
         sms_.back()->setObserver(eff);
+        sms_.back()->setSanitizer(san_.get());
     }
 }
 
@@ -145,6 +158,11 @@ Gpu::run(const func::Kernel &kernel, const trace::KernelTrace &trace,
     li.contextBytesPerBlock = contextBytesPerBlock(cfg_, kernel);
     for (auto &s : sms_)
         s->beginKernel(li);
+    if (san_)
+        san_->beginRun(kernel.program, trace, li.blocksPerSm,
+                       li.warpsPerBlock,
+                       sms_[0]->state().log.partitionBytes(),
+                       mmu_.get());
 
     // Initial fill: breadth-first across SMs, as the baseline TB
     // scheduler does on a kernel launch.
@@ -172,7 +190,14 @@ Gpu::run(const func::Kernel &kernel, const trace::KernelTrace &trace,
     // including 1, which skips the pool entirely — produces
     // bit-identical results.
     const int nsm = static_cast<int>(sms_.size());
-    const int threads = std::max(1, std::min(cfg_.smThreads, nsm));
+    // Also clamp to the host's core count: ticking with more threads
+    // than cores is pure oversubscription — the per-cycle dispatch
+    // handshake degenerates into scheduler churn (pathological under
+    // a single-core CPU quota). Unobservable in any output: results
+    // are smThreads-independent by the contract above.
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    const int threads = std::max(
+        1, std::min({cfg_.smThreads, nsm, hw > 0 ? hw : cfg_.smThreads}));
     std::unique_ptr<common::TaskPool> pool;
     if (threads > 1)
         pool = std::make_unique<common::TaskPool>(threads);
@@ -248,6 +273,10 @@ Gpu::run(const func::Kernel &kernel, const trace::KernelTrace &trace,
             any |= s->didWork();
             released |= s->slotReleased();
         }
+        // Violations recorded during the parallel compute phase are
+        // raised here, in the serial section of the same cycle.
+        if (san_)
+            san_->throwDeferred();
         // allDone() scans every SM; it can only flip true in a cycle
         // that emptied a TB slot (or when the machine was idle to
         // begin with), so the scan is gated on those cases instead of
@@ -277,6 +306,16 @@ Gpu::run(const func::Kernel &kernel, const trace::KernelTrace &trace,
                 std::move(ctx), diagnose(now));
         }
         now = std::max(now + 1, nxt);
+    }
+
+    if (san_) {
+        for (auto &s : sms_)
+            san_->checkDrained(s->state(), now);
+        if (l2_->maxPendingReady() > now)
+            san_->fail("leak at drain: L2 MSHR entry outstanding past "
+                       "the end of the run",
+                       now, -1, -1);
+        san_->finishRun(now);
     }
 
     SimResult r;

@@ -127,6 +127,13 @@ class Gpu : public sm::MemorySystem
      * observer_ so capture composes with a user observer.
      */
     std::unique_ptr<obs::LastKObserver> lastK_;
+    /**
+     * Invariant sanitizer (GpuConfig::checkInvariants), rebuilt per
+     * reset(). Heads the observer chain (sanitizer → last-K ring →
+     * user observer) and is also attached to every SM's targeted
+     * hooks; exec-only, so results are identical with it detached.
+     */
+    std::unique_ptr<check::SimSanitizer> san_;
 };
 
 } // namespace gex::gpu

@@ -8,6 +8,7 @@
 #ifndef GEX_MEM_CACHE_HPP
 #define GEX_MEM_CACHE_HPP
 
+#include <algorithm>
 #include <functional>
 #include <queue>
 #include <string>
@@ -71,6 +72,21 @@ class Cache
 
     /** Probe without timing side effects (tests/diagnostics). */
     bool contains(Addr line) const;
+
+    /**
+     * Latest data-ready cycle over all outstanding misses, 0 when
+     * none. MSHR entries drain lazily on later accesses, so "nothing
+     * in flight at cycle N" is maxPendingReady() <= N, not emptiness
+     * (sanitizer drain checks, docs/VALIDATION.md).
+     */
+    Cycle
+    maxPendingReady() const
+    {
+        Cycle m = 0;
+        pendingByLine_.forEach(
+            [&m](Addr, const Cycle &ready) { m = std::max(m, ready); });
+        return m;
+    }
 
     /** Invalidate everything (kernel boundary). */
     void flush();

@@ -69,8 +69,10 @@ Lsu::processGlobal(const isa::Instruction &inst, const trace::TraceInst &ti,
 
         // Page fault on this request.
         ++faults_;
-        if (tr.detect < tl.faultDetect)
+        if (tr.detect < tl.faultDetect) {
             tl.faultDetect = tr.detect;
+            tl.faultPage = page;
+        }
         tl.resolveAll = std::max(tl.resolveAll, tr.resolve);
         if (tl.kind == vm::FaultKind::None ||
             tr.kind == vm::FaultKind::GpuAlloc)

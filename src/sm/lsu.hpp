@@ -50,6 +50,8 @@ struct MemTimeline {
     Cycle resolveAll = 0;
     /** Most significant fault kind (GpuAlloc > Migration > ...). */
     vm::FaultKind kind = vm::FaultKind::None;
+    /** Page of the earliest-detected fault (sanitizer TLB probe). */
+    Addr faultPage = kBadAddr;
     /** Pending-fault queue depth at first detect (UC1 input). */
     int queueDepth = 0;
 };

@@ -1,8 +1,16 @@
 #include "sm/pipeline.hpp"
 
+#include "check/sanitizer.hpp"
 #include "sm/stages/decode.hpp"
 
 namespace gex::sm {
+
+void
+PipelineState::sanEventScheduled(Cycle cycle, std::uint64_t seq,
+                                 EvKind kind)
+{
+    san->onEventScheduled(smId, cycle, seq, static_cast<int>(kind));
+}
 
 PipelineState::PipelineState(int id, const gpu::GpuConfig &config,
                              MemorySystem &sys)

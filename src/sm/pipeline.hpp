@@ -31,6 +31,10 @@
 #include "sm/scoreboard.hpp"
 #include "trace/trace.hpp"
 
+namespace gex::check {
+class SimSanitizer;
+}
+
 namespace gex::sm {
 
 /** Per-kernel launch geometry computed by the GPU front end. */
@@ -278,6 +282,12 @@ struct PipelineState {
     /** Attached observer; nullptr (the default) disables all tracing. */
     obs::PipelineObserver *obs = nullptr;
     /**
+     * Attached invariant sanitizer (--check); nullptr (the default)
+     * disables the event-heap shadow at the cost of one
+     * predicted-not-taken branch per scheduled event.
+     */
+    check::SimSanitizer *san = nullptr;
+    /**
      * Events emitted this cycle, buffered until this SM's drain phase
      * so parallel SM-local phases never call the (shared) observer
      * concurrently. Flushing in ascending SM order per cycle replays
@@ -365,6 +375,8 @@ struct PipelineState {
                   std::uint32_t id)
     {
         events.push(Event{cycle, ++eventSeq, kind, arg, id});
+        if (san)
+            sanEventScheduled(cycle, eventSeq, kind);
     }
 
     /** Schedule an event referencing inflight record @p id. */
@@ -374,6 +386,8 @@ struct PipelineState {
     {
         events.push(Event{cycle, ++eventSeq, kind, arg, id});
         ++pool[id].eventsLeft;
+        if (san)
+            sanEventScheduled(cycle, eventSeq, kind);
     }
 
     /**
@@ -397,6 +411,8 @@ struct PipelineState {
                     std::int32_t arg, std::uint32_t id)
     {
         events.push(Event{cycle, seq, kind, arg, id});
+        if (san)
+            sanEventScheduled(cycle, seq, kind);
     }
 
     /** Same, referencing inflight record @p id. */
@@ -406,6 +422,8 @@ struct PipelineState {
     {
         events.push(Event{cycle, seq, kind, arg, id});
         ++pool[id].eventsLeft;
+        if (san)
+            sanEventScheduled(cycle, seq, kind);
     }
 
     /**
@@ -472,6 +490,8 @@ struct PipelineState {
     }
 
   private:
+    /** Out of line so this header need not see the sanitizer class. */
+    void sanEventScheduled(Cycle cycle, std::uint64_t seq, EvKind kind);
     void emitWarpSlow(Cycle now, obs::PipeEventKind k, int w,
                       std::uint64_t arg);
     void emitInstSlow(Cycle now, obs::PipeEventKind k, const Inflight &in,

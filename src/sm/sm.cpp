@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "check/sanitizer.hpp"
 #include "common/log.hpp"
 #include "gpu/local_scheduler.hpp"
 #include "sm/stages/operand_collect.hpp"
@@ -98,6 +99,9 @@ Sm::installBlock(int slot, const trace::BlockTrace *bt, Cycle now,
                 ++ts.warpsFinished;
         }
     }
+    if (st_.san)
+        st_.san->onBlockInstalled(st_.smId, slot, bt->blockId,
+                                  ts.firstWarp, ts.numWarps);
     st_.didWork = true;
 }
 
@@ -131,6 +135,8 @@ Sm::tickEvents(Cycle now)
 {
     st_.didWork = false;
     st_.slotReleased = false;
+    if (st_.san)
+        st_.san->onCycleStart(st_.smId, now);
     processEvents(now);
 }
 
@@ -163,6 +169,10 @@ Sm::drainShared(Cycle now)
                                        st_.policy.stallFaultsInPipeline(),
                                        st_.cfg.faultRetryLatency);
         if (in.mem.faulted) {
+            if (st_.san)
+                st_.san->onFaultedTranslation(st_.smId, in.warp,
+                                              in.mem.faultPage,
+                                              st_.lsu.l1Tlb(), now);
             st_.scheduleInstEventAt(in.mem.faultDetect, op.seq,
                                     EvKind::FaultReact, in.warp, op.id);
             wr.maxCommitScheduled =
@@ -183,6 +193,8 @@ Sm::drainShared(Cycle now)
             st_.obs->event(e);
         st_.obsBuf.clear();
     }
+    if (st_.san)
+        st_.san->onDrainEnd(st_.smId);
 }
 
 // ---------------------------------------------------------------------------
@@ -194,6 +206,8 @@ Sm::processEvents(Cycle now)
     while (!st_.events.empty() && st_.events.top().cycle <= now) {
         Event ev = st_.events.top();
         st_.events.pop();
+        if (st_.san)
+            st_.san->onEventPopped(st_.smId, ev.cycle, ev.seq);
         st_.didWork = true;
         switch (ev.kind) {
           case EvKind::SourceRelease: {
@@ -422,6 +436,20 @@ Sm::beginDrain(int slot, Cycle now)
         WarpRt &w = st_.warps[static_cast<size_t>(ts.firstWarp + j)];
         w.frozen = true;
         st_.wakeWarp(ts.firstWarp + j);
+        // A fetch barrier engages on the *fetch* of its instruction,
+        // and fetch stops right behind it — so an engaged barrier with
+        // a non-empty ibuf belongs to the ibuf tail, which revertIbuf
+        // is about to un-fetch. Disengage it: the saved context must
+        // not carry a barrier for an instruction that was never
+        // issued (it re-engages when the instruction is re-fetched
+        // after restore). An engaged barrier with an empty ibuf
+        // belongs to an issued instruction; the drain wait runs until
+        // that instruction commits, which re-enables fetch itself.
+        if (w.wdFetchDisable && !w.ibuf.empty()) {
+            w.wdFetchDisable = false;
+            st_.emitWarp(now, obs::PipeEventKind::FetchReenabled,
+                         ts.firstWarp + j);
+        }
         st_.revertIbuf(w);
     }
     st_.scheduleEvent(std::max(drainTime(slot), now + 1),

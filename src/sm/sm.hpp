@@ -120,6 +120,17 @@ class Sm
      */
     void setObserver(obs::PipelineObserver *o) { st_.obs = o; }
 
+    /**
+     * Attach the invariant sanitizer (nullptr detaches). Separate from
+     * the observer chain: the sanitizer also needs the targeted hooks
+     * (event heap, block installs, faulting translations) that never
+     * surface as pipeline events.
+     */
+    void setSanitizer(check::SimSanitizer *s) { st_.san = s; }
+
+    /** Read-only pipeline state (drain checks, log partition size). */
+    const PipelineState &state() const { return st_; }
+
     /** UC1 hook for the mem-check stage: maybe drain this block. */
     void considerSwitch(int slot, int queue_depth, Cycle now);
 

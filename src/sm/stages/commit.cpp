@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/sanitizer.hpp"
 #include "sm/sm.hpp"
 #include "sm/stages/operand_collect.hpp"
 
@@ -57,6 +58,10 @@ CommitStage::onCommit(Inflight &in, Cycle now)
     --wr.inflight;
     ++st_.instsCommitted;
     st_.emitInst(now, obs::PipeEventKind::Committed, in);
+    // Deliberate exactly-once-retirement break (check/hooks.hpp): emit
+    // a second Committed event for the same dynamic instruction.
+    if (st_.san && check::take(st_.san->hooks.doubleCommit))
+        st_.emitInst(now, obs::PipeEventKind::Committed, in);
     st_.wakeWarp(in.warp);
     sm_.checkWarpFinished(in.warp, now);
 }

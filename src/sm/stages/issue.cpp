@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/sanitizer.hpp"
 #include "sm/stages/decode.hpp"
 #include "sm/stages/operand_collect.hpp"
 
@@ -13,6 +14,12 @@ using isa::Unit;
 void
 IssueStage::tick(Cycle now)
 {
+    // Deliberate event-heap corruption (check/hooks.hpp): schedule a
+    // stale resume into the past so the sanitizer's never-into-the-past
+    // shadow trips.
+    if (st_.san && now > 0 &&
+        check::take(st_.san->hooks.corruptEventSeq))
+        st_.scheduleEvent(0, EvKind::WarpResume, 0, UINT32_MAX);
     // Same live-warp scan bound (and divide-free rotation) as fetch.
     const int n = st_.activeWarps;
     const bool greedy =
@@ -173,6 +180,11 @@ IssueStage::tryIssueHead(int w, Cycle now)
         // replay-queue scheme, sources of a faulted instruction stay
         // held until it is squashed (its last TLB check never comes).
         if (st_.policy.releaseSourcesAtOperandRead(true)) {
+            st_.scheduleInstEvent(op_read, EvKind::SourceRelease, w, id);
+        } else if (st_.san &&
+                   check::take(st_.san->hooks.breakRqHold)) {
+            // Deliberate protocol break (check/hooks.hpp): release the
+            // replay-queue hold at operand read anyway.
             st_.scheduleInstEvent(op_read, EvKind::SourceRelease, w, id);
         }
     } else {

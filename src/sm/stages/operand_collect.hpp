@@ -15,6 +15,7 @@
 #ifndef GEX_SM_STAGES_OPERAND_COLLECT_HPP
 #define GEX_SM_STAGES_OPERAND_COLLECT_HPP
 
+#include "check/sanitizer.hpp"
 #include "isa/instruction.hpp"
 #include "sm/pipeline.hpp"
 
@@ -133,6 +134,12 @@ releaseDestinations(PipelineState &st, Inflight &in)
 inline void
 releaseLogSpace(PipelineState &st, Inflight &in, Cycle now)
 {
+    // Deliberate leak (check/hooks.hpp): drop one release, keeping the
+    // entry's bytes allocated in the partition.
+    if (st.san && check::take(st.san->hooks.leakLogEntry)) {
+        in.logHeld = false;
+        return;
+    }
     st.log.release(in.logPartition, in.logBytes);
     in.logHeld = false;
     st.emitInst(now, obs::PipeEventKind::LogReleased, in, in.logBytes);

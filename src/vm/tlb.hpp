@@ -8,6 +8,7 @@
 #ifndef GEX_VM_TLB_HPP
 #define GEX_VM_TLB_HPP
 
+#include <algorithm>
 #include <functional>
 #include <string>
 #include <vector>
@@ -62,6 +63,21 @@ class Tlb
 
     /** Probe tags without side effects. */
     bool contains(Addr page) const;
+
+    /**
+     * Latest expiry cycle over all outstanding misses, 0 when none.
+     * Pending entries drain lazily, so quiescence at cycle N means
+     * maxPendingExpiry() <= N (sanitizer drain checks).
+     */
+    Cycle
+    maxPendingExpiry() const
+    {
+        Cycle m = 0;
+        pending_.forEach([&m](Addr, const PendingMiss &p) {
+            m = std::max(m, p.expires);
+        });
+        return m;
+    }
 
     void flush();
 

@@ -83,6 +83,15 @@ toolMain(int argc, char **argv)
     gpu::Gpu g(params.cfg);
     auto r = g.run(w.kernel, tr, params.policy);
 
+    if (params.cfg.checkInvariants) {
+        // The architectural half of --check: the in-run sanitizer
+        // already proved exactly-once retirement; close the loop
+        // against the functional reference (docs/VALIDATION.md).
+        check::ArchOracle oracle(o.workload, o.scale, mem, tr);
+        oracle.verifyTiming(r, params.cfg);
+        oracle.verifyReplay();
+    }
+
     std::printf("workload      %s (scale %d)\n", o.workload.c_str(),
                 o.scale);
     std::printf("blocks        %u (%d resident per SM)\n",
